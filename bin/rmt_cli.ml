@@ -1,0 +1,398 @@
+(* rmt — command-line interface to the library.
+
+   Subcommands:
+     analyze   feasibility of an instance (cut witnesses, minimal radius)
+     run       execute a protocol on a simulated network
+     attack    mount the two-face indistinguishability attack
+     dot       emit the instance as Graphviz
+
+   Instances are described by three little specs:
+     --topology  grid:3x4 | king:3x4 | layered:3x2 | cycle:8 | complete:5 |
+                 ladder:4 | path:6 | random:12:0.3
+     --adversary thr:1 | local:1 | rand:4:2
+     --knowledge adhoc | full | radius:2
+
+   Example:
+     rmt analyze --topology grid:3x4 --adversary thr:1 --receiver 11
+     rmt run --protocol pka --topology layered:3x2 --receiver 7 --value 42 \
+             --corrupt 1 --strategy value-flip *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_error fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let split_spec s = String.split_on_char ':' s
+
+let topology_of_spec seed spec =
+  let rng = Prng.create seed in
+  match split_spec spec with
+  | [ ("grid" | "king") as kind; dims ] ->
+    (match String.split_on_char 'x' dims with
+     | [ r; c ] ->
+       let r = int_of_string r and c = int_of_string c in
+       Ok (if kind = "king" then Generators.king_grid r c else Generators.grid r c)
+     | _ -> Error "grid spec must be grid:RxC")
+  | [ "layered"; dims ] ->
+    (match String.split_on_char 'x' dims with
+     | [ w; d ] ->
+       Ok (Generators.layered ~width:(int_of_string w) ~depth:(int_of_string d))
+     | _ -> Error "layered spec must be layered:WxD")
+  | [ "cycle"; n ] -> Ok (Generators.cycle (int_of_string n))
+  | [ "complete"; n ] -> Ok (Generators.complete (int_of_string n))
+  | [ "ladder"; n ] -> Ok (Generators.ladder (int_of_string n))
+  | [ "path"; n ] -> Ok (Generators.path_graph (int_of_string n))
+  | [ "random"; n; p ] ->
+    Ok (Generators.random_connected_gnp rng (int_of_string n) (float_of_string p))
+  | _ -> Error (Printf.sprintf "unknown topology spec %S" spec)
+
+let structure_of_spec seed spec g ~dealer =
+  let rng = Prng.create (seed + 1) in
+  match split_spec spec with
+  | [ "thr"; t ] -> Ok (Builders.global_threshold g ~dealer (int_of_string t))
+  | [ "local"; t ] -> Ok (Builders.t_local g ~dealer (int_of_string t))
+  | [ "rand"; sets; max_size ] ->
+    Ok
+      (Builders.random_antichain rng g ~dealer ~sets:(int_of_string sets)
+         ~max_size:(int_of_string max_size))
+  | _ -> Error (Printf.sprintf "unknown adversary spec %S" spec)
+
+let view_of_spec spec g =
+  match split_spec spec with
+  | [ "adhoc" ] -> Ok (View.ad_hoc g)
+  | [ "full" ] -> Ok (View.full g)
+  | [ "radius"; k ] -> Ok (View.radius (int_of_string k) g)
+  | _ -> Error (Printf.sprintf "unknown knowledge spec %S" spec)
+
+let rec build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+    ~receiver () =
+  match file with
+  | Some path -> Codec.of_file path
+  | None -> build_from_specs ~seed ~topology ~adversary ~knowledge ~dealer ~receiver
+
+and build_from_specs ~seed ~topology ~adversary ~knowledge ~dealer ~receiver =
+  match topology_of_spec seed topology with
+  | Error e -> Error e
+  | Ok g ->
+    let receiver =
+      match receiver with
+      | Some r -> r
+      | None ->
+        (* farthest node from the dealer *)
+        List.fold_left
+          (fun (bv, bd) (v, d) -> if d > bd then (v, d) else (bv, bd))
+          (dealer, 0)
+          (Connectivity.distances_from g dealer)
+        |> fst
+    in
+    (match structure_of_spec seed adversary g ~dealer with
+     | Error e -> Error e
+     | Ok structure ->
+       (match view_of_spec knowledge g with
+        | Error e -> Error e
+        | Ok view ->
+          (try Ok (Instance.make ~graph:g ~structure ~view ~dealer ~receiver)
+           with Invalid_argument m -> Error m)))
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let topology_t =
+  Arg.(value & opt string "layered:3x2" & info [ "topology" ] ~docv:"SPEC")
+
+let adversary_t =
+  Arg.(value & opt string "thr:1" & info [ "adversary" ] ~docv:"SPEC")
+
+let knowledge_t =
+  Arg.(value & opt string "adhoc" & info [ "knowledge" ] ~docv:"SPEC")
+
+let dealer_t = Arg.(value & opt int 0 & info [ "dealer" ] ~docv:"NODE")
+
+let receiver_t =
+  Arg.(value & opt (some int) None & info [ "receiver" ] ~docv:"NODE")
+
+let seed_t = Arg.(value & opt int 2016 & info [ "seed" ] ~docv:"INT")
+
+let file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "instance" ] ~docv:"FILE"
+        ~doc:"Load the instance from a file (see lib/knowledge/codec.mli); \
+              overrides the topology/adversary/knowledge specs.")
+
+let value_t = Arg.(value & opt int 42 & info [ "value" ] ~docv:"INT")
+
+let dec_str = function
+  | None -> "⊥ (no decision)"
+  | Some x -> string_of_int x
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze file seed topology adversary knowledge dealer receiver =
+  match
+    build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+      ~receiver ()
+  with
+  | Error e -> parse_error "%s" e
+  | Ok inst ->
+    Printf.printf "%s\n\n" (Format.asprintf "%a" Instance.pp inst);
+    let pk = Cut.find_rmt_cut inst in
+    Printf.printf "RMT-cut (partial knowledge): %s\n"
+      (match (pk.cut_found, pk.complete) with
+       | Some w, _ -> Format.asprintf "EXISTS — %a" Cut.pp_witness w
+       | None, true -> "none (RMT solvable, Thms 3+5)"
+       | None, false -> "unknown (budget exhausted)");
+    let zpp = Cut.find_rmt_zpp_cut inst in
+    Printf.printf "RMT Z-pp cut (ad hoc):       %s\n"
+      (match (zpp.cut_found, zpp.complete) with
+       | Some w, _ -> Format.asprintf "EXISTS — %a" Cut.pp_witness w
+       | None, true -> "none (Z-CPA solves this, Thms 7+8)"
+       | None, false -> "unknown (budget exhausted)");
+    (match
+       Minimal_knowledge.minimal_radius ~graph:inst.graph
+         ~structure:inst.structure ~dealer:inst.dealer ~receiver:inst.receiver ()
+     with
+     | Some k -> Printf.printf "Minimal uniform view radius: %d\n" k
+     | None -> Printf.printf "Minimal uniform view radius: none (unsolvable)\n");
+    `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_t =
+  Arg.(
+    value
+    & opt (enum [ ("pka", `Pka); ("zcpa", `Zcpa); ("zcpa-sim", `Zcpa_sim) ]) `Pka
+    & info [ "protocol" ] ~docv:"pka|zcpa|zcpa-sim")
+
+let corrupt_t =
+  Arg.(value & opt_all int [] & info [ "corrupt" ] ~docv:"NODE")
+
+let strategy_t =
+  Arg.(
+    value
+    & opt string "value-flip"
+    & info [ "strategy" ]
+        ~docv:"silent|mimic|value-flip|trail-forge|topology-liar|fictitious-node")
+
+let trace_t =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the delivery timeline.")
+
+let pka_payload_summary (m : Rmt_pka.msg) =
+  let trail =
+    String.concat "->" (List.map string_of_int m.Rmt_net.Flood.trail)
+  in
+  match m.Rmt_net.Flood.payload with
+  | Rmt_pka.Value x -> Printf.sprintf "value %d via %s" x trail
+  | Rmt_pka.Info r -> Printf.sprintf "report(%d) via %s" r.Rmt_pka.origin trail
+
+let run_cmd file seed topology adversary knowledge dealer receiver value
+    protocol corrupt strategy trace =
+  match
+    build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+      ~receiver ()
+  with
+  | Error e -> parse_error "%s" e
+  | Ok inst ->
+    let corrupted = Nodeset.of_list corrupt in
+    (match protocol with
+     | `Pka ->
+       let adversary =
+         if Nodeset.is_empty corrupted then Rmt_net.Engine.no_adversary
+         else
+           match
+             List.assoc_opt strategy
+               (Strategies.pka_full_menu inst ~x_dealer:value
+                  ~x_fake:(value + 1) corrupted)
+           with
+           | Some a -> a
+           | None -> Strategies.pka_silent corrupted
+       in
+       let tr, on_deliver = Rmt_net.Trace.create ~pp_payload:pka_payload_summary () in
+       let auto = Rmt_pka.automaton inst ~x_dealer:value in
+       let outcome =
+         Rmt_net.Engine.run ~size_of:Rmt_pka.msg_size
+           ~on_deliver:(if trace then on_deliver else fun ~round:_ ~src:_ ~dst:_ _ -> ())
+           ~stop_when:(fun dec -> dec inst.receiver <> None)
+           ~graph:inst.graph ~adversary auto
+       in
+       let decided = Rmt_net.Engine.decision_of outcome inst.receiver in
+       if trace then print_string (Rmt_net.Trace.render tr);
+       Printf.printf
+         "RMT-PKA: decided %s  correct=%b  rounds=%d  messages=%d  bits=%d  \
+          truncated=%b\n"
+         (dec_str decided) (decided = Some value) outcome.stats.rounds
+         outcome.stats.messages outcome.stats.bits outcome.stats.truncated;
+       `Ok ()
+     | (`Zcpa | `Zcpa_sim) as p ->
+       let adversary =
+         if Nodeset.is_empty corrupted then Rmt_net.Engine.no_adversary
+         else
+           match
+             List.assoc_opt strategy
+               (Strategies.value_full_menu (Prng.create seed)
+                  ~x_fake:(value + 1) inst.graph corrupted)
+           with
+           | Some a -> a
+           | None -> Strategies.value_silent corrupted
+       in
+       let decider =
+         match p with
+         | `Zcpa -> None
+         | `Zcpa_sim -> Some (Self_reduction.simulated_decider inst)
+       in
+       let tr, on_deliver =
+         Rmt_net.Trace.create ~pp_payload:(fun (x : int) -> string_of_int x) ()
+       in
+       let calls, counted =
+         Zcpa.counting_oracle (Zcpa.direct_oracle inst)
+       in
+       let decider =
+         match decider with
+         | Some d -> d
+         | None -> Zcpa.decider_of_oracle counted
+       in
+       let auto = Zcpa.automaton ~decider inst ~x_dealer:value in
+       let outcome =
+         Rmt_net.Engine.run
+           ~on_deliver:(if trace then on_deliver else fun ~round:_ ~src:_ ~dst:_ _ -> ())
+           ~graph:inst.graph ~adversary auto
+       in
+       let decided = Rmt_net.Engine.decision_of outcome inst.receiver in
+       if trace then print_string (Rmt_net.Trace.render tr);
+       Printf.printf
+         "Z-CPA%s: decided %s  correct=%b  rounds=%d  messages=%d  oracle \
+          calls=%d\n"
+         (match p with `Zcpa -> "" | `Zcpa_sim -> " (simulated oracle)")
+         (dec_str decided) (decided = Some value) outcome.stats.rounds
+         outcome.stats.messages !calls;
+       `Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attack file seed topology adversary knowledge dealer receiver =
+  match
+    build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+      ~receiver ()
+  with
+  | Error e -> parse_error "%s" e
+  | Ok inst ->
+    (match (Cut.find_rmt_cut inst).cut_found with
+     | None ->
+       Printf.printf
+         "No RMT-cut: this instance is solvable, no attack can succeed.\n";
+       `Ok ()
+     | Some w ->
+       Printf.printf "Witness: %s\n" (Format.asprintf "%a" Cut.pp_witness w);
+       let show name (v : Attack.verdict) =
+         Printf.printf
+           "%-10s run e: %-6s run e': %-6s views agree: %-5b safety broken: %b\n"
+           name (dec_str v.decision_e) (dec_str v.decision_e') v.views_agree
+           v.safety_broken
+       in
+       show "RMT-PKA" (Attack.against_rmt_pka inst w ~x0:0 ~x1:1);
+       show "Z-CPA" (Attack.against_zcpa inst w ~x0:0 ~x1:1);
+       let naive x =
+         Rmt_protocols.Naive.first_value inst.graph ~dealer:inst.dealer
+           ~receiver:inst.receiver ~x_dealer:x
+       in
+       show "naive"
+         (Attack.co_simulate ~graph:inst.graph ~c1:w.c1 ~c2:w.c2 (naive 0)
+            (naive 1) ~receiver:inst.receiver);
+       `Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot file seed topology adversary knowledge dealer receiver =
+  match
+    build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+      ~receiver ()
+  with
+  | Error e -> parse_error "%s" e
+  | Ok inst ->
+    print_string
+      (Rmt_graph.Dot.instance_dot ~dealer:inst.dealer ~receiver:inst.receiver
+         inst.graph);
+    `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Command wiring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let instance_args f =
+  Term.(
+    ret
+      (const f $ file_t $ seed_t $ topology_t $ adversary_t $ knowledge_t
+       $ dealer_t $ receiver_t))
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Feasibility analysis of an RMT instance")
+    (instance_args analyze)
+
+let run_command =
+  Cmd.v (Cmd.info "run" ~doc:"Run a protocol on a simulated network")
+    Term.(
+      ret
+        (const run_cmd $ file_t $ seed_t $ topology_t $ adversary_t
+         $ knowledge_t $ dealer_t $ receiver_t $ value_t $ protocol_t
+         $ corrupt_t $ strategy_t $ trace_t))
+
+let attack_cmd =
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Mount the two-face indistinguishability attack (Fig 2)")
+    (instance_args attack)
+
+let dot_cmd =
+  Cmd.v (Cmd.info "dot" ~doc:"Emit the instance graph as Graphviz")
+    (instance_args dot)
+
+let save file seed topology adversary knowledge dealer receiver out =
+  match
+    build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+      ~receiver ()
+  with
+  | Error e -> parse_error "%s" e
+  | Ok inst ->
+    (match Codec.to_file out inst with
+     | Ok () ->
+       Printf.printf "wrote %s\n" out;
+       `Ok ()
+     | Error e -> parse_error "%s" e)
+
+let save_cmd =
+  let out_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize the instance described by the specs")
+    Term.(
+      ret
+        (const save $ file_t $ seed_t $ topology_t $ adversary_t $ knowledge_t
+         $ dealer_t $ receiver_t $ out_t))
+
+let () =
+  let info =
+    Cmd.info "rmt" ~version:"1.0.0"
+      ~doc:
+        "Reliable Message Transmission under partial knowledge and general \
+         adversaries (Pagourtzis, Panagiotakos, Sakavalas)"
+  in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; run_command; attack_cmd; dot_cmd; save_cmd ]))

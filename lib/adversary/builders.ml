@@ -1,0 +1,46 @@
+open Rmt_base
+open Rmt_graph
+
+let non_dealer_nodes g ~dealer = Nodeset.remove dealer (Graph.nodes g)
+
+let global_threshold g ~dealer t =
+  Structure.threshold ~ground:(non_dealer_nodes g ~dealer) t
+
+let t_local g ~dealer t =
+  let ground = non_dealer_nodes g ~dealer in
+  if Nodeset.size ground > 20 then
+    invalid_arg "Builders.t_local: graph too large for subset enumeration";
+  Structure.of_predicate ~ground (fun z ->
+      Nodeset.for_all
+        (fun v -> Nodeset.size (Nodeset.inter z (Graph.neighbors v g)) <= t)
+        (Graph.nodes g))
+
+let from_maximal g ~dealer sets =
+  let ground = non_dealer_nodes g ~dealer in
+  Structure.of_sets ~ground (List.map (Nodeset.inter ground) sets)
+
+let random_antichain rng g ~dealer ~sets ~max_size =
+  let ground = non_dealer_nodes g ~dealer in
+  let candidates =
+    List.init sets (fun _ ->
+        let size = 1 + Prng.int rng (max 1 max_size) in
+        Prng.sample rng ground size)
+  in
+  Structure.of_sets ~ground candidates
+
+let random_nonsolvable_bias rng g ~dealer ~receiver ~sets =
+  let ground = non_dealer_nodes g ~dealer in
+  let base =
+    List.init sets (fun _ ->
+        let size = 1 + Prng.int rng (max 1 (Nodeset.size ground / 3)) in
+        Prng.sample rng ground size)
+  in
+  (* with probability 1/2, also admit a random large chunk of the
+     receiver's neighborhood, which often forms half of a cut *)
+  let near_r = Nodeset.inter (Graph.neighbors receiver g) ground in
+  let biased =
+    if Prng.bool rng && not (Nodeset.is_empty near_r) then
+      [ Prng.subset rng near_r 0.7 ]
+    else []
+  in
+  Structure.of_sets ~ground (biased @ base)

@@ -1,0 +1,143 @@
+open Rmt_base
+
+type t = {
+  ground : Nodeset.t;
+  maximal : Nodeset.t list; (* antichain, sorted by Nodeset.compare *)
+}
+
+(* Keep only maximal sets, sorted and deduplicated. *)
+let reduce sets =
+  let sorted = List.sort_uniq Nodeset.compare sets in
+  List.filter
+    (fun z ->
+      not
+        (List.exists
+           (fun z' -> (not (Nodeset.equal z z')) && Nodeset.subset z z')
+           sorted))
+    sorted
+
+let of_sets ~ground sets =
+  List.iter
+    (fun z ->
+      if not (Nodeset.subset z ground) then
+        invalid_arg "Structure.of_sets: set outside ground")
+    sets;
+  { ground; maximal = reduce sets }
+
+let empty_family ~ground = { ground; maximal = [] }
+
+let trivial ~ground = { ground; maximal = [ Nodeset.empty ] }
+
+let binom n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let rec combinations k elts =
+  if k = 0 then [ Nodeset.empty ]
+  else
+    match elts with
+    | [] -> []
+    | x :: rest ->
+      List.map (Nodeset.add x) (combinations (k - 1) rest)
+      @ combinations k rest
+
+let threshold ~ground t =
+  let n = Nodeset.size ground in
+  let t = max 0 (min t n) in
+  if binom n t > 1_000_000 then
+    invalid_arg "Structure.threshold: antichain too large";
+  { ground; maximal = reduce (combinations t (Nodeset.elements ground)) }
+
+let of_predicate ~ground pred =
+  if Nodeset.size ground > 20 then
+    invalid_arg "Structure.of_predicate: ground too large";
+  let sets = ref [] in
+  Nodeset.subsets_iter ground (fun z -> if pred z then sets := z :: !sets);
+  let maximal = reduce !sets in
+  (* downward-closure sanity check: every single-element removal of an
+     admissible set must stay admissible.  Exhaustive on small grounds,
+     restricted to the antichain on larger ones to stay cheap. *)
+  let to_check = if Nodeset.size ground <= 14 then !sets else maximal in
+  List.iter
+    (fun z ->
+      Nodeset.iter
+        (fun v ->
+          if not (pred (Nodeset.remove v z)) then
+            invalid_arg "Structure.of_predicate: predicate not monotone")
+        z)
+    to_check;
+  { ground; maximal }
+
+let add_set z s =
+  { ground = Nodeset.union s.ground z; maximal = reduce (z :: s.maximal) }
+
+let ground s = s.ground
+
+let maximal_sets s = s.maximal
+
+let num_maximal s = List.length s.maximal
+
+let mem z s = List.exists (fun m -> Nodeset.subset z m) s.maximal
+
+let is_empty_family s = s.maximal = []
+
+let equal s1 s2 =
+  Nodeset.equal s1.ground s2.ground
+  && List.length s1.maximal = List.length s2.maximal
+  && List.for_all2 Nodeset.equal s1.maximal s2.maximal
+
+let subset_family s1 s2 = List.for_all (fun m -> mem m s2) s1.maximal
+
+let restrict a s =
+  {
+    ground = Nodeset.inter s.ground a;
+    maximal = reduce (List.map (Nodeset.inter a) s.maximal);
+  }
+
+let union_families s1 s2 =
+  {
+    ground = Nodeset.union s1.ground s2.ground;
+    maximal = reduce (s1.maximal @ s2.maximal);
+  }
+
+let inter_families s1 s2 =
+  (* maximal sets of the intersection are among pairwise intersections *)
+  let candidates =
+    List.concat_map
+      (fun m1 -> List.map (fun m2 -> Nodeset.inter m1 m2) s2.maximal)
+      s1.maximal
+  in
+  { ground = Nodeset.union s1.ground s2.ground; maximal = reduce candidates }
+
+let satisfies_qk s a k =
+  (* can k maximal sets cover a?  DFS over the antichain, shrinking a *)
+  let rec coverable a k =
+    if Nodeset.is_empty a then true
+    else if k = 0 then false
+    else
+      List.exists
+        (fun m ->
+          (* skip sets that don't help *)
+          (not (Nodeset.disjoint m a)) && coverable (Nodeset.diff a m) (k - 1))
+        s.maximal
+  in
+  not (coverable a k)
+
+let covers_cut s g d r =
+  List.exists (fun m -> Rmt_graph.Connectivity.is_cut g d r m) s.maximal
+
+let pp ppf s =
+  Format.fprintf ppf "@[<hov 2>{ground=%a;@ maximal=[%a]}@]" Nodeset.pp s.ground
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Nodeset.pp)
+    s.maximal
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,98 @@
+(** Dense bitset representation of sets of node identifiers.
+
+    Nodes are non-negative integers.  Sets are immutable: every operation
+    returns a fresh value and never mutates its arguments.  The
+    representation is an [int array] of 62-bit words sized to the largest
+    member ever inserted, so sets over small universes (the regime of every
+    experiment in this repository) cost a handful of words and all the
+    set-algebraic operations used by the adversary-structure machinery
+    ([subset], [inter], [union], [diff]) are word-parallel. *)
+
+type t
+
+(** {1 Construction} *)
+
+val empty : t
+
+val singleton : int -> t
+(** [singleton v] is [{v}].  @raise Invalid_argument if [v < 0]. *)
+
+val of_list : int list -> t
+
+val of_array : int array -> t
+
+val range : int -> int -> t
+(** [range lo hi] is [{lo, lo+1, ..., hi-1}]; empty whenever [lo >= hi]. *)
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+(** {1 Queries} *)
+
+val is_empty : t -> bool
+
+val mem : int -> t -> bool
+
+val size : t -> int
+(** Number of elements. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is [a ⊆ b]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order compatible with [equal]; suitable for [Map]/[Set] keys. *)
+
+val disjoint : t -> t -> bool
+
+val max_elt_opt : t -> int option
+
+val min_elt_opt : t -> int option
+
+val choose_opt : t -> int option
+(** An arbitrary (but deterministic) element. *)
+
+(** {1 Set algebra} *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+(** {1 Iteration} *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending order. *)
+
+val for_all : (int -> bool) -> t -> bool
+
+val exists : (int -> bool) -> t -> bool
+
+val filter : (int -> bool) -> t -> t
+
+val elements : t -> int list
+(** Ascending order. *)
+
+val to_array : t -> int array
+
+(** {1 Enumeration of subsets} *)
+
+val subsets_iter : t -> (t -> unit) -> unit
+(** [subsets_iter s f] applies [f] to all 2^|s| subsets of [s].  Intended
+    for exhaustive small-universe checks; raises [Invalid_argument] when
+    [size s > 20] to guard against accidental blow-ups. *)
+
+(** {1 Formatting} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0, 3, 7}]. *)
+
+val to_string : t -> string
+
+val hash : t -> int

@@ -1,0 +1,68 @@
+(* splitmix64: tiny, fast, and high-quality enough for workload generation.
+   Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix (Int64.add s golden) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = max_int in
+  let rec go () =
+    let r = Int64.to_int (bits64 t) land mask in
+    let v = r mod bound in
+    if r - v + (bound - 1) >= 0 then v else go ()
+  in
+  go ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t x =
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  let u = float_of_int r /. 9007199254740992.0 (* 2^53 *) in
+  u *. x
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let subset t s p =
+  Nodeset.filter (fun _ -> float t 1.0 < p) s
+
+let sample t s k =
+  let elts = Nodeset.to_array s in
+  shuffle t elts;
+  let k = min k (Array.length elts) in
+  Nodeset.of_array (Array.sub elts 0 k)

@@ -1,0 +1,54 @@
+let list_product xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let list_take n l =
+  let rec go n l acc =
+    match (n, l) with
+    | 0, _ | _, [] -> List.rev acc
+    | n, x :: rest -> go (n - 1) rest (x :: acc)
+  in
+  go n l []
+
+let sum_by f l = List.fold_left (fun acc x -> acc + f x) 0 l
+
+let sum_by_f f l = List.fold_left (fun acc x -> acc +. f x) 0. l
+
+let mean = function
+  | [] -> 0.
+  | xs -> sum_by_f Fun.id xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+    let n = List.length s in
+    let a = List.nth s ((n - 1) / 2) and b = List.nth s (n / 2) in
+    (a +. b) /. 2.
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+    let n = List.length s in
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    List.nth s (max 0 (min (n - 1) idx))
+
+let group_by key l =
+  let tagged = List.map (fun x -> (key x, x)) l in
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) tagged in
+  let rec go = function
+    | [] -> []
+    | (k, x) :: rest ->
+      let same, others = List.partition (fun (k', _) -> k' = k) rest in
+      (k, x :: List.map snd same) :: go others
+  in
+  go sorted
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fail fmt = Format.kasprintf failwith fmt

@@ -1,0 +1,30 @@
+(** Small general-purpose helpers shared across the repository. *)
+
+val list_product : 'a list -> 'b list -> ('a * 'b) list
+(** Cartesian product, left-major order. *)
+
+val list_take : int -> 'a list -> 'a list
+(** First [n] elements (all of them when the list is shorter). *)
+
+val sum_by : ('a -> int) -> 'a list -> int
+
+val sum_by_f : ('a -> float) -> 'a list -> float
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val median : float list -> float
+(** Median; 0. on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [0,1], nearest-rank; 0. on empty. *)
+
+val group_by : ('a -> 'k) -> 'a list -> ('k * 'a list) list
+(** Groups adjacent-equal keys after a stable sort by key (polymorphic
+    compare); each key appears once. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail fmt ...] raises [Failure] with a formatted message. *)

@@ -1,0 +1,158 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_net
+
+type verdict = {
+  decision_e : int option;
+  decision_e' : int option;
+  views_agree : bool;
+  safety_broken : bool;
+  observed : (int * (int option * int option)) list;
+}
+
+(* One side of the paired execution. *)
+type ('s, 'm) side = {
+  corrupted : Nodeset.t;
+  states : (int, 's) Hashtbl.t;
+  mutable in_flight : (int * int * 'm) list;
+}
+
+let co_simulate ?max_rounds ?(observers = []) ~graph ~c1 ~c2 auto_e auto_e'
+    ~receiver =
+  if not (Nodeset.disjoint c1 c2) then
+    invalid_arg "Attack.co_simulate: C1 and C2 must be disjoint";
+  if Nodeset.mem receiver c1 || Nodeset.mem receiver c2 then
+    invalid_arg "Attack.co_simulate: the receiver must be honest";
+  if not (Nodeset.subset (Nodeset.union c1 c2) (Graph.nodes graph)) then
+    invalid_arg "Attack.co_simulate: corruption sets outside the graph";
+  let nodes = Graph.nodes graph in
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None -> (4 * Graph.num_nodes graph) + 8
+  in
+  let side corrupted =
+    { corrupted; states = Hashtbl.create 16; in_flight = [] }
+  in
+  let e = side c1 and e' = side c2 in
+  let enqueue sd src sends =
+    List.iter
+      (fun Engine.{ dst; payload } ->
+        if Graph.mem_edge src dst graph then
+          sd.in_flight <- (src, dst, payload) :: sd.in_flight)
+      sends
+  in
+  (* Initialization: every node is initialized in the run(s) where it is
+     honest; a node corrupted in one run replays, there, its honest twin's
+     sends from the other run. *)
+  let init_sends auto sd v =
+    let st, sends = auto.Engine.init v in
+    Hashtbl.replace sd.states v st;
+    sends
+  in
+  Nodeset.iter
+    (fun v ->
+      let sends_e = if Nodeset.mem v c1 then None else Some (init_sends auto_e e v) in
+      let sends_e' =
+        if Nodeset.mem v c2 then None else Some (init_sends auto_e' e' v)
+      in
+      (match (sends_e, sends_e') with
+       | Some s, Some s' ->
+         enqueue e v s;
+         enqueue e' v s'
+       | Some s, None ->
+         (* honest in e, corrupted in e': mirror e-sends into e' *)
+         enqueue e v s;
+         enqueue e' v s
+       | None, Some s' ->
+         enqueue e v s';
+         enqueue e' v s'
+       | None, None -> assert false (* c1 ∩ c2 = ∅ *)))
+    nodes;
+  (* Rounds *)
+  let inbox_of sd =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (src, dst, p) ->
+        let cur = try Hashtbl.find tbl dst with Not_found -> [] in
+        Hashtbl.replace tbl dst ((src, p) :: cur))
+      sd.in_flight;
+    sd.in_flight <- [];
+    fun v -> try Hashtbl.find tbl v with Not_found -> []
+  in
+  let round = ref 1 in
+  while
+    !round <= max_rounds && (e.in_flight <> [] || e'.in_flight <> [])
+  do
+    let inbox_e = inbox_of e and inbox_e' = inbox_of e' in
+    let step auto sd inbox v =
+      let st = Hashtbl.find sd.states v in
+      let st', sends = auto.Engine.step v st ~round:!round ~inbox:(inbox v) in
+      Hashtbl.replace sd.states v st';
+      sends
+    in
+    Nodeset.iter
+      (fun v ->
+        let honest_e = not (Nodeset.mem v c1) in
+        let honest_e' = not (Nodeset.mem v c2) in
+        let sends_e = if honest_e then Some (step auto_e e inbox_e v) else None in
+        let sends_e' =
+          if honest_e' then Some (step auto_e' e' inbox_e' v) else None
+        in
+        match (sends_e, sends_e') with
+        | Some s, Some s' ->
+          enqueue e v s;
+          enqueue e' v s'
+        | Some s, None ->
+          enqueue e v s;
+          enqueue e' v s
+        | None, Some s' ->
+          enqueue e v s';
+          enqueue e' v s'
+        | None, None -> assert false)
+      nodes;
+    incr round
+  done;
+  let decision_in sd auto v =
+    match Hashtbl.find_opt sd.states v with
+    | None -> None
+    | Some st -> auto.Engine.decision st
+  in
+  let de = decision_in e auto_e receiver in
+  let de' = decision_in e' auto_e' receiver in
+  {
+    decision_e = de;
+    decision_e' = de';
+    views_agree = de = de';
+    safety_broken = de <> None && de = de';
+    observed =
+      List.map
+        (fun v -> (v, (decision_in e auto_e v, decision_in e' auto_e' v)))
+        observers;
+  }
+
+let forged_structure (inst : Instance.t) c2 =
+  let z' = Structure.add_set (Nodeset.remove inst.dealer c2) inst.structure in
+  Instance.with_structure inst z'
+
+let against_rmt_pka ?budgets ?observers (inst : Instance.t) (w : Cut.witness)
+    ~x0 ~x1 =
+  let inst' = forged_structure inst w.c2 in
+  co_simulate ?observers ~graph:inst.graph ~c1:w.c1 ~c2:w.c2
+    (Rmt_pka.automaton ?budgets inst ~x_dealer:x0)
+    (Rmt_pka.automaton ?budgets inst' ~x_dealer:x1)
+    ~receiver:inst.receiver
+
+let against_zcpa ?(oracle_of = fun inst -> Zcpa.direct_oracle inst) ?observers
+    (inst : Instance.t) (w : Cut.witness) ~x0 ~x1 =
+  let inst' = forged_structure inst w.c2 in
+  co_simulate ?observers ~graph:inst.graph ~c1:w.c1 ~c2:w.c2
+    (Zcpa.automaton
+       ~decider:(Zcpa.decider_of_oracle (oracle_of inst))
+       inst ~x_dealer:x0)
+    (Zcpa.automaton
+       ~decider:(Zcpa.decider_of_oracle (oracle_of inst'))
+       inst' ~x_dealer:x1)
+    ~receiver:inst.receiver

@@ -1,0 +1,115 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+
+(* Definition 10: unlike the RMT variant, the shielded side B may sit
+   anywhere in the graph.  It suffices to consider connected B with
+   C = N(B) (the conditions on C₂ are monotone and a full cut dominates
+   its component-wise boundary); to enumerate each candidate exactly once
+   we anchor B at its minimum element. *)
+let find_zpp_cut ?budget (inst : Instance.t) =
+  let g = inst.graph in
+  let d = inst.dealer in
+  let forbidden_base = Graph.closed_neighborhood d g in
+  let maximal = Structure.maximal_sets inst.structure in
+  let condition b c2 =
+    Nodeset.for_all
+      (fun u ->
+        let nu = Graph.neighbors u g in
+        Structure.mem (Nodeset.inter nu c2)
+          (Structure.restrict (Nodeset.add u nu) inst.structure))
+      b
+  in
+  let found = ref None in
+  let complete = ref true in
+  let seeds =
+    Nodeset.elements (Nodeset.diff (Graph.nodes g) forbidden_base)
+  in
+  List.iter
+    (fun seed ->
+      if !found = None then begin
+        let forbidden =
+          (* anchor: no member smaller than the seed *)
+          Nodeset.union forbidden_base (Nodeset.range 0 seed)
+        in
+        let outcome =
+          Subset_enum.connected_supersets ?budget g ~seed ~forbidden (fun b ->
+              let c = Graph.neighborhood_of_set b g in
+              List.exists
+                (fun m ->
+                  let c2 = Nodeset.diff c m in
+                  if condition b c2 then begin
+                    found :=
+                      Some
+                        Cut.
+                          {
+                            b_side = b;
+                            cut = c;
+                            c1 = Nodeset.inter c m;
+                            c2;
+                          };
+                    true
+                  end
+                  else false)
+                maximal)
+        in
+        if not outcome.complete then complete := false
+      end)
+    seeds;
+  Cut.{ cut_found = !found; complete = !complete }
+
+let solvable ?budget inst =
+  let v = find_zpp_cut ?budget inst in
+  match (v.cut_found, v.complete) with
+  | Some _, _ -> Solvability.Unsolvable
+  | None, true -> Solvability.Solvable
+  | None, false -> Solvability.Unknown
+
+let blocked_nodes ?budget (inst : Instance.t) =
+  Nodeset.filter
+    (fun v ->
+      v <> inst.dealer
+      &&
+      let inst_v =
+        Instance.make ~graph:inst.graph ~structure:inst.structure
+          ~view:inst.view ~dealer:inst.dealer ~receiver:v
+      in
+      Cut.exists_certainly (Cut.find_rmt_zpp_cut ?budget inst_v))
+    (Graph.nodes inst.graph)
+
+type run_result = {
+  deciders : int;
+  honest : int;
+  wrong : int;
+  complete : bool;
+}
+
+let run ?oracle ?(adversary = Rmt_net.Engine.no_adversary) (inst : Instance.t)
+    ~x_dealer =
+  let decider =
+    Zcpa.decider_of_oracle
+      (match oracle with Some o -> o | None -> Zcpa.direct_oracle inst)
+  in
+  let auto = Zcpa.automaton ~forward_all:true ~decider inst ~x_dealer in
+  let outcome = Rmt_net.Engine.run ~graph:inst.graph ~adversary auto in
+  let honest_players =
+    Nodeset.remove inst.dealer
+      (Nodeset.diff (Graph.nodes inst.graph) adversary.Rmt_net.Engine.corrupted)
+  in
+  let deciders = ref 0 and wrong = ref 0 in
+  Nodeset.iter
+    (fun v ->
+      match Rmt_net.Engine.decision_of outcome v with
+      | Some x ->
+        incr deciders;
+        if x <> x_dealer then incr wrong
+      | None -> ())
+    honest_players;
+  let honest = Nodeset.size honest_players in
+  {
+    deciders = !deciders;
+    honest;
+    wrong = !wrong;
+    complete = !deciders = honest && !wrong = 0;
+  }

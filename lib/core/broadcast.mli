@@ -1,0 +1,45 @@
+(** Reliable Broadcast with an honest dealer — the problem RMT descends
+    from (Section 4, [13]).
+
+    In Broadcast every honest player must decide on the dealer's value,
+    not just a designated receiver.  The tight ad hoc obstruction is the
+    original 𝒵-pp cut (Definition 10): a cut [C = C₁ ∪ C₂] splitting the
+    rest into [A ∋ D] and [B ≠ ∅] with [C₁ ∈ 𝒵] and
+    [∀u ∈ B, 𝒩(u) ∩ C₂ ∈ 𝒵_u].  𝒵-CPA achieves Broadcast exactly when no
+    such cut exists, and the RMT adaptation in {!Zcpa} is the same
+    protocol with only the output rule localized — so this module reuses
+    it and merely changes the success criterion and the cut decider
+    (the receiver side [B] now ranges over {e every} component, not just
+    the receiver's). *)
+
+open Rmt_base
+open Rmt_knowledge
+
+val find_zpp_cut : ?budget:int -> Instance.t -> Cut.verdict
+(** Definition 10's cut.  The instance's receiver is irrelevant here; only
+    the graph, structure and dealer matter. *)
+
+val solvable : ?budget:int -> Instance.t -> Solvability.feasibility
+(** Broadcast feasibility in the ad hoc model (tight, per [13]). *)
+
+val blocked_nodes : ?budget:int -> Instance.t -> Nodeset.t
+(** The union of all receiver-side components over the 𝒵-pp cuts found —
+    players that some admissible adversary can starve.  Empty iff
+    {!solvable}.  (Computed by treating every node in turn as the RMT
+    receiver; a node is blocked iff an RMT 𝒵-pp cut shields it.) *)
+
+type run_result = {
+  deciders : int;  (** honest players that decided *)
+  honest : int;  (** honest players (dealer excluded) *)
+  wrong : int;  (** honest players that decided incorrectly — safety *)
+  complete : bool;  (** all honest players decided correctly *)
+}
+
+val run :
+  ?oracle:Zcpa.oracle ->
+  ?adversary:int Rmt_net.Engine.strategy ->
+  Instance.t ->
+  x_dealer:int ->
+  run_result
+(** 𝒵-CPA in its original broadcast reading: every player decides and
+    relays; success means all honest players decided the dealer's value. *)

@@ -1,0 +1,125 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+
+type witness = {
+  b_side : Nodeset.t;
+  cut : Nodeset.t;
+  c1 : Nodeset.t;
+  c2 : Nodeset.t;
+}
+
+type verdict = {
+  cut_found : witness option;
+  complete : bool;
+}
+
+let exists_certainly v = v.cut_found <> None
+
+let absent_certainly v = v.cut_found = None && v.complete
+
+(* Shared driver: enumerate connected B ∋ R with D ∉ B ∪ N(B); candidate
+   cut C = N(B); for each maximal M ∈ 𝒵 try the split C₁ = C ∩ M,
+   C₂ = C ∖ M and test the model-specific condition on C₂ and B. *)
+let search ?budget (inst : Instance.t) ~condition =
+  let g = inst.graph in
+  let d = inst.dealer and r = inst.receiver in
+  let forbidden = Graph.closed_neighborhood d g in
+  if Nodeset.mem r forbidden then
+    (* R is the dealer's neighbor or the dealer itself: no cut can avoid
+       the dealer and separate them *)
+    { cut_found = None; complete = true }
+  else begin
+    let found = ref None in
+    let maximal = Structure.maximal_sets inst.structure in
+    let outcome =
+      Subset_enum.connected_supersets ?budget g ~seed:r ~forbidden (fun b ->
+          let c = Graph.neighborhood_of_set b g in
+          let hit =
+            List.exists
+              (fun m ->
+                let c2 = Nodeset.diff c m in
+                if condition b c2 then begin
+                  found :=
+                    Some { b_side = b; cut = c; c1 = Nodeset.inter c m; c2 };
+                  true
+                end
+                else false)
+              maximal
+          in
+          hit)
+    in
+    { cut_found = !found; complete = outcome.complete }
+  end
+
+let zb_condition inst b c2 =
+  let zb = Joint.joint_structure inst.Instance.view inst.structure b in
+  let vgb = View.joint_nodes inst.view b in
+  Structure.mem (Nodeset.inter c2 vgb) zb
+
+let local_condition inst b c2 =
+  Nodeset.for_all
+    (fun u ->
+      let nu = Graph.neighbors u inst.Instance.graph in
+      Structure.mem (Nodeset.inter nu c2)
+        (Structure.restrict (Nodeset.add u nu) inst.structure))
+    b
+
+(* Specialized driver for RMT-cuts: 𝒵_B and V(γ(B)) are maintained
+   incrementally along the enumeration (⊕ is associative), which avoids
+   the O(|B|) joins per enumerated component of the naive version. *)
+let find_rmt_cut ?budget (inst : Instance.t) =
+  let g = inst.graph in
+  let d = inst.dealer and r = inst.receiver in
+  let forbidden = Graph.closed_neighborhood d g in
+  if Nodeset.mem r forbidden then { cut_found = None; complete = true }
+  else begin
+    let found = ref None in
+    let maximal = Structure.maximal_sets inst.structure in
+    let part v = Structure.restrict (View.view_nodes inst.view v) inst.structure in
+    let init = (View.view_nodes inst.view r, part r) in
+    let extend (vgb, zb) c =
+      (Nodeset.union vgb (View.view_nodes inst.view c), Joint.join zb (part c))
+    in
+    let outcome =
+      Subset_enum.connected_supersets_acc ?budget g ~seed:r ~forbidden ~init
+        ~extend (fun b (vgb, zb) ->
+          let c = Graph.neighborhood_of_set b g in
+          List.exists
+            (fun m ->
+              let c2 = Nodeset.diff c m in
+              if Structure.mem (Nodeset.inter c2 vgb) zb then begin
+                found :=
+                  Some { b_side = b; cut = c; c1 = Nodeset.inter c m; c2 };
+                true
+              end
+              else false)
+            maximal)
+    in
+    { cut_found = !found; complete = outcome.complete }
+  end
+
+let find_rmt_cut_naive ?budget inst =
+  search ?budget inst ~condition:(zb_condition inst)
+
+let find_rmt_zpp_cut ?budget inst =
+  search ?budget inst ~condition:(local_condition inst)
+
+let split_ok (inst : Instance.t) c1 c2 ~condition =
+  let g = inst.graph in
+  let c = Nodeset.union c1 c2 in
+  Connectivity.is_cut g inst.dealer inst.receiver c
+  && Structure.mem c1 inst.structure
+  &&
+  let b = Connectivity.component_of ~avoiding:c g inst.receiver in
+  condition b c2
+
+let is_rmt_cut inst c1 c2 = split_ok inst c1 c2 ~condition:(zb_condition inst)
+
+let is_rmt_zpp_cut inst c1 c2 =
+  split_ok inst c1 c2 ~condition:(local_condition inst)
+
+let pp_witness ppf w =
+  Format.fprintf ppf "@[<hov 2>cut %a = C1 %a ∪ C2 %a shielding B %a@]"
+    Nodeset.pp w.cut Nodeset.pp w.c1 Nodeset.pp w.c2 Nodeset.pp w.b_side

@@ -1,0 +1,40 @@
+open Rmt_base
+open Rmt_adversary
+open Rmt_knowledge
+
+(* For maximal M1 ⊆ A and M2 ⊆ B, the maximal union of a compatible pair
+   (Z1 ⊆ M1, Z2 ⊆ M2, Z1 ∩ B = Z2 ∩ A) is reached by agreeing on the
+   largest possible overlap S = M1 ∩ M2 (all of which lies in A ∩ B) and
+   keeping everything outside the other's ground set:
+     candidate(M1, M2) = (M1 ∖ B) ∪ (M2 ∖ A) ∪ (M1 ∩ M2).
+   Any compatible pair's union is contained in the candidate of the
+   maximal sets dominating it, and each candidate is itself realized by a
+   compatible pair, so the candidates generate exactly 𝓔 ⊕ 𝓕. *)
+let join e f =
+  let a = Structure.ground e and b = Structure.ground f in
+  let candidates =
+    List.concat_map
+      (fun m1 ->
+        List.map
+          (fun m2 ->
+            Nodeset.union
+              (Nodeset.union (Nodeset.diff m1 b) (Nodeset.diff m2 a))
+              (Nodeset.inter m1 m2))
+          (Structure.maximal_sets f))
+      (Structure.maximal_sets e)
+  in
+  Structure.of_sets ~ground:(Nodeset.union a b) candidates
+
+let identity = Structure.trivial ~ground:Nodeset.empty
+
+let join_list = function
+  | [] -> identity
+  | s :: rest -> List.fold_left join s rest
+
+let joint_structure view z b =
+  join_list
+    (Nodeset.fold
+       (fun v acc -> Structure.restrict (View.view_nodes view v) z :: acc)
+       b [])
+
+let mem_joint z parts = Structure.mem z (join_list parts)

@@ -1,0 +1,40 @@
+(** The joint view operation [⊕] on adversary structures (Definition 2).
+
+    [𝓔^A ⊕ 𝓕^B = { Z₁ ∪ Z₂ | Z₁ ∈ 𝓔^A, Z₂ ∈ 𝓕^B, Z₁ ∩ B = Z₂ ∩ A }]
+
+    combines two players' partial knowledge of the adversary into the
+    {e maximal} adversary structure consistent with both (Theorem 1): any
+    structure whose restrictions to [A] and [B] match the operands is
+    contained in the join.  The operation is commutative, associative and
+    idempotent (Theorems 11, 13, 14), so the joint structure of a node set
+    [𝒵_B = ⊕_{v ∈ B} 𝒵^{V(γ(v))}] is well defined regardless of order.
+
+    The implementation works on antichains: for maximal [M₁ ∈ 𝓔],
+    [M₂ ∈ 𝓕] the unique maximal compatible union is
+    [(M₁∖B) ∪ (M₂∖A) ∪ (M₁ ∩ M₂)], and every compatible union is contained
+    in one of these candidates, so the join costs
+    [O(|𝓔|·|𝓕|)] set operations plus an antichain reduction. *)
+
+open Rmt_base
+open Rmt_adversary
+open Rmt_knowledge
+
+val join : Structure.t -> Structure.t -> Structure.t
+(** [join e f] is [𝓔^A ⊕ 𝓕^B] where [A], [B] are the operands' ground
+    sets; the result's ground set is [A ∪ B]. *)
+
+val join_list : Structure.t list -> Structure.t
+(** Folds {!join}; the empty list yields the identity [{∅}^∅]. *)
+
+val identity : Structure.t
+(** [{∅}] over the empty ground set: [join identity s] is [s]. *)
+
+val joint_structure : View.t -> Structure.t -> Nodeset.t -> Structure.t
+(** [joint_structure γ 𝒵 B] is [𝒵_B = ⊕_{v ∈ B} 𝒵^{V(γ(v))}] — what the
+    members of [B], pooling their initial knowledge, consider the maximal
+    possible adversary structure (Section 2).  By Corollary 2 it always
+    contains [𝒵^{V(γ(B))}]. *)
+
+val mem_joint : Nodeset.t -> Structure.t list -> bool
+(** [mem_joint z parts]: is [z] in the join of the given structures?
+    Shortcut for [Structure.mem z (join_list parts)]. *)

@@ -1,0 +1,35 @@
+(** Minimal knowledge needed for RMT (end of Section 3).
+
+    View functions are partially ordered by pointwise subgraph inclusion;
+    the non-existence of an RMT-cut characterizes exactly the views under
+    which RMT is solvable, so "how much must players know?" becomes a
+    search for minimal views without an RMT-cut.  Two searches are
+    provided: the radius frontier (smallest uniform [k] such that
+    [radius k] views suffice) and a greedy per-node minimization, which
+    produces a view that is minimal in the partial order (shrinking any
+    single node's view to a smaller radius re-creates a cut). *)
+
+open Rmt_graph
+open Rmt_knowledge
+
+val radius_frontier :
+  ?budget:int -> graph:Graph.t -> structure:Rmt_adversary.Structure.t ->
+  dealer:int -> receiver:int -> unit -> (int * Solvability.feasibility) list
+(** Feasibility at every radius [0 .. diameter]; the frontier is the first
+    [Solvable] entry (if any). *)
+
+val minimal_radius :
+  ?budget:int -> graph:Graph.t -> structure:Rmt_adversary.Structure.t ->
+  dealer:int -> receiver:int -> unit -> int option
+(** Smallest [k] with no RMT-cut under [radius k] views; [None] when even
+    full knowledge does not make the instance solvable (or a budget ran
+    out before certainty). *)
+
+val greedy_minimal_views :
+  ?budget:int -> Instance.t -> (int * int) list option
+(** Starting from per-node radii equal to the graph's diameter, repeatedly
+    shrink one node's radius while no RMT-cut appears.  Returns the
+    resulting per-node radii [(node, radius)], or [None] when the instance
+    is unsolvable even at full radii.  The result is a locally minimal
+    knowledge assignment — the paper's "minimal γ" notion restricted to
+    the radius-indexed chain of views. *)

@@ -1,0 +1,495 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_net
+
+type report = {
+  origin : int;
+  gamma : Graph.t;
+  zeta : Structure.t;
+}
+
+let report_equal r1 r2 =
+  r1.origin = r2.origin
+  && Graph.equal r1.gamma r2.gamma
+  && Structure.equal r1.zeta r2.zeta
+
+type payload =
+  | Value of int
+  | Info of report
+
+type msg = payload Flood.msg
+
+let msg_size (m : msg) =
+  List.length m.Flood.trail
+  +
+  match m.Flood.payload with
+  | Value _ -> 1
+  | Info r ->
+    1 + Graph.num_nodes r.gamma
+    + (2 * Graph.num_edges r.gamma)
+    + List.fold_left
+        (fun acc s -> acc + 1 + Nodeset.size s)
+        0
+        (Structure.maximal_sets r.zeta)
+
+type budgets = {
+  path_budget : int;
+  subset_budget : int;
+  cover_budget : int;
+  conflict_branches : int;
+}
+
+let default_budgets =
+  {
+    path_budget = 100_000;
+    subset_budget = 4_000;
+    cover_budget = 100_000;
+    conflict_branches = 64;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Receiver state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A distinct claimed report together with every propagation trail it
+   arrived with.  Trails matter: a forged report's trail necessarily
+   contains a corrupted node (the relay tail-check), so a version carrying
+   a trail that stays inside an all-honest region is necessarily genuine —
+   the receiver exploits this in the adversary-cover search. *)
+type version = {
+  rep : report;
+  mutable trails : Paths.path list;
+}
+
+type recv = {
+  self : int;
+  dealer : int;
+  own : report;
+  budgets : budgets;
+  (* x ↦ set of claimed D–R paths (trail with the receiver appended) *)
+  values : (int, (Paths.path, unit) Hashtbl.t) Hashtbl.t;
+  (* node ↦ distinct reports received about it, with their trails *)
+  reports : (int, version list) Hashtbl.t;
+  mutable decided : int option;
+  mutable truncated : bool;
+  mutable dirty : bool;
+}
+
+type state =
+  | Dealer_done
+  | Relay of int
+  | Receiver of recv
+
+let decision = function
+  | Receiver r -> r.decided
+  | Dealer_done | Relay _ -> None
+
+let search_truncated = function
+  | Receiver r -> r.truncated
+  | Dealer_done | Relay _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Receiver: message ingestion                                         *)
+(* ------------------------------------------------------------------ *)
+
+let record_value rs x full_path =
+  let tbl =
+    match Hashtbl.find_opt rs.values x with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 16 in
+      Hashtbl.replace rs.values x t;
+      t
+  in
+  if not (Hashtbl.mem tbl full_path) then begin
+    Hashtbl.replace tbl full_path ();
+    rs.dirty <- true
+  end
+
+let report_plausible r =
+  Graph.mem_node r.origin r.gamma
+  && Nodeset.subset (Structure.ground r.zeta) (Graph.nodes r.gamma)
+
+let record_report rs r trail =
+  (* the receiver trusts only itself about itself *)
+  if r.origin <> rs.self && report_plausible r then begin
+    let known =
+      match Hashtbl.find_opt rs.reports r.origin with
+      | Some l -> l
+      | None -> []
+    in
+    match List.find_opt (fun v -> report_equal v.rep r) known with
+    | Some v ->
+      if not (List.mem trail v.trails) then begin
+        v.trails <- trail :: v.trails;
+        rs.dirty <- true
+      end
+    | None ->
+      Hashtbl.replace rs.reports r.origin ({ rep = r; trails = [ trail ] } :: known);
+      rs.dirty <- true
+  end
+
+let ingest rs ~src (m : msg) =
+  if Flood.trail_ok ~self:rs.self ~src m.trail then
+    match m.payload with
+    | Value x ->
+      (* only trails that start at the dealer can be dealer trails *)
+      (match m.trail with
+       | d :: _ when d = rs.dealer -> record_value rs x (m.trail @ [ rs.self ])
+       | _ -> ())
+    | Info r ->
+      (match m.trail with
+       | o :: _ when o = r.origin -> record_report rs r m.trail
+       | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Receiver: decision subroutine                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Conflict branches: the adversary may have delivered several versions of
+   some node's type-2 report; a valid M picks at most one per node.  We
+   enumerate assignments (node ↦ version), capped. *)
+let conflict_branches rs =
+  let entries =
+    Hashtbl.fold (fun v versions acc -> (v, versions) :: acc) rs.reports []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let cap = rs.budgets.conflict_branches in
+  let branches = ref [ [] ] in
+  let truncated = ref false in
+  List.iter
+    (fun (v, versions) ->
+      let expanded =
+        List.concat_map
+          (fun branch -> List.map (fun ver -> (v, ver.rep) :: branch) versions)
+          !branches
+      in
+      if List.length expanded > cap then begin
+        truncated := true;
+        branches := Util.list_take cap expanded
+      end
+      else branches := expanded)
+    entries;
+  if !truncated then rs.truncated <- true;
+  !branches
+
+let build_gm info vset =
+  let joint =
+    Nodeset.fold
+      (fun v acc ->
+        match Hashtbl.find_opt info v with
+        | Some r -> Graph.union r.gamma acc
+        | None -> acc)
+      vset Graph.empty
+  in
+  Graph.induced vset joint
+
+(* Adversary cover search (Definition 6) on the claimed graph: enumerate
+   connected B ∋ R avoiding the dealer's closed neighborhood; C = N(B);
+   covered iff C ∩ V(γ(B)) ∈ 𝒵_B.
+
+   Which reports may the receiver use for V(γ(B)) and 𝒵_B?  Not the ones
+   selected into M: the adversary can relay a stale or forged report of an
+   honest B-member through corrupted relays and erase the cover that the
+   safety proof (Thm 4) relies on.  The sound rule — and the reason type-2
+   messages carry propagation trails at all — is to use exactly the report
+   versions that arrived with at least one trail lying entirely inside B:
+   a forged trail necessarily contains a corrupted node (footnote 1), and
+   the candidate B of the safety argument is all-honest, so B-internal
+   trails certify genuineness while genuine reports of B-members always
+   flood to R along B-internal paths.  Two distinct B-internally-trailed
+   versions of the same node prove B contains a corrupted node: such a B
+   is conservatively treated as covered (this cannot block the genuine
+   branch of the sufficiency argument, where every candidate B is honest
+   and conflict-free). *)
+let has_cover rs gm =
+  if not (Graph.mem_node rs.dealer gm) then
+    (* no dealer in the claimed graph: never decide on such an M *)
+    `Yes
+  else begin
+    let forbidden = Graph.closed_neighborhood rs.dealer gm in
+    if Nodeset.mem rs.self forbidden then
+      (* direct (claimed and type-1-corroborated) D–R edge: no cut exists *)
+      `No
+    else begin
+      let trail_inside b p = List.for_all (fun v -> Nodeset.mem v b) p in
+      let eligible b u =
+        if u = rs.self then [ rs.own ]
+        else
+          match Hashtbl.find_opt rs.reports u with
+          | None -> []
+          | Some versions ->
+            List.filter_map
+              (fun ver ->
+                if List.exists (trail_inside b) ver.trails then Some ver.rep
+                else None)
+              versions
+      in
+      let covered = ref false in
+      let outcome =
+        Subset_enum.connected_supersets ~budget:rs.budgets.cover_budget gm
+          ~seed:rs.self ~forbidden (fun b ->
+            let c = Graph.neighborhood_of_set b gm in
+            let rec check vgb zb = function
+              | [] -> Structure.mem (Nodeset.inter c vgb) zb
+              | u :: rest ->
+                (match eligible b u with
+                 | [] -> false (* no certified knowledge for u: no cover via b *)
+                 | [ r ] ->
+                   check
+                     (Nodeset.union vgb (Graph.nodes r.gamma))
+                     (Joint.join zb r.zeta) rest
+                 | _ :: _ :: _ ->
+                   (* conflicting certified versions: b provably contains a
+                      corrupted node — treat as covered *)
+                   true)
+            in
+            if
+              check Nodeset.empty Joint.identity
+                (Nodeset.elements (Nodeset.remove rs.self b) @ [ rs.self ])
+            then begin
+              covered := true;
+              true
+            end
+            else false)
+      in
+      if !covered then `Yes else if outcome.complete then `No else `Unknown
+    end
+  end
+
+let path_interior q =
+  match q with
+  | [] | [ _ ] -> []
+  | _ :: rest -> List.rev (List.tl (List.rev rest))
+
+let edge_reporters info vset (a, b) =
+  Nodeset.filter
+    (fun w ->
+      match Hashtbl.find_opt info w with
+      | Some r -> Graph.mem_edge a b r.gamma
+      | None -> false)
+    vset
+
+let rec path_edges = function
+  | a :: (b :: _ as rest) -> (a, b) :: path_edges rest
+  | [ _ ] | [] -> []
+
+(* Search for a valid full message set with value [x] and no adversary
+   cover, over subsets V_M of the reported nodes.  Pruning: a missing D–R
+   path [q] of G_M must be destroyed in any full subset, which requires
+   dropping an interior node of [q] or every reporter of one of its
+   edges; we branch on all single-node candidates.  Covers are hereditary
+   downward (see DESIGN.md), so only maximal full subsets need a cover
+   check. *)
+let try_value rs info x =
+  let paths_x =
+    match Hashtbl.find_opt rs.values x with
+    | Some t -> t
+    | None -> Hashtbl.create 1
+  in
+  if not (Hashtbl.mem info rs.dealer) then false
+  else begin
+    let visited = Hashtbl.create 64 in
+    let budget = ref rs.budgets.subset_budget in
+    let rec explore vset =
+      let key = Nodeset.to_string vset in
+      if Hashtbl.mem visited key then false
+      else begin
+        Hashtbl.replace visited key ();
+        if !budget <= 0 then begin
+          rs.truncated <- true;
+          false
+        end
+        else begin
+          decr budget;
+          let gm = build_gm info vset in
+          let missing, complete =
+            Paths.find_simple_path ~budget:rs.budgets.path_budget gm rs.dealer
+              rs.self (fun q -> not (Hashtbl.mem paths_x q))
+          in
+          match (missing, complete) with
+          | None, false ->
+            rs.truncated <- true;
+            false
+          | None, true ->
+            (* full: check for an adversary cover *)
+            (match has_cover rs gm with
+             | `No ->
+               if Sys.getenv_opt "RMT_PKA_DEBUG" <> None then begin
+                 Printf.eprintf "[pka %d] DECIDE %d on V_M=%s\n%!" rs.self x
+                   (Nodeset.to_string vset);
+                 Hashtbl.iter
+                   (fun v (r : report) ->
+                     if Nodeset.mem v vset then
+                       Printf.eprintf "  info %d: gamma=%s zeta=%s\n%!" v
+                         (Nodeset.to_string (Graph.nodes r.gamma))
+                         (Structure.to_string r.zeta))
+                   info
+               end;
+               true
+             | `Yes -> false
+             | `Unknown ->
+               rs.truncated <- true;
+               false)
+          | Some q, _ ->
+            (* not full: branch on ways to destroy q *)
+            let candidates =
+              List.fold_left
+                (fun acc e -> Nodeset.union acc (edge_reporters info vset e))
+                (Nodeset.of_list (path_interior q))
+                (path_edges q)
+            in
+            let candidates =
+              Nodeset.remove rs.dealer (Nodeset.remove rs.self candidates)
+            in
+            Nodeset.exists (fun w -> explore (Nodeset.remove w vset)) candidates
+        end
+      end
+    in
+    let all = Hashtbl.fold (fun v _ acc -> Nodeset.add v acc) info Nodeset.empty in
+    explore all
+  end
+
+let try_decide rs =
+  if rs.decided = None then begin
+    (* dealer propagation rule *)
+    let direct =
+      Hashtbl.fold
+        (fun x tbl acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if Hashtbl.mem tbl [ rs.dealer; rs.self ] then Some x else None)
+        rs.values None
+    in
+    match direct with
+    | Some x -> rs.decided <- Some x
+    | None ->
+      (* full message set propagation rule *)
+      let xs =
+        Hashtbl.fold (fun x _ acc -> x :: acc) rs.values [] |> List.sort compare
+      in
+      if xs <> [] then begin
+        let branches = conflict_branches rs in
+        let try_branch branch x =
+          let info = Hashtbl.create 16 in
+          List.iter (fun (v, r) -> Hashtbl.replace info v r) branch;
+          Hashtbl.replace info rs.self rs.own;
+          try_value rs info x
+        in
+        List.iter
+          (fun x ->
+            if rs.decided = None then
+              if List.exists (fun branch -> try_branch branch x) branches then
+                rs.decided <- Some x)
+          xs
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The automaton                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let automaton ?(budgets = default_budgets) (inst : Instance.t) ~x_dealer =
+  let g = inst.graph in
+  let own_report v =
+    {
+      origin = v;
+      gamma = Instance.local_view inst v;
+      zeta = Instance.local_structure inst v;
+    }
+  in
+  let init v =
+    if v = inst.dealer then
+      ( Dealer_done,
+        Flood.originate g v (Value x_dealer)
+        @ Flood.originate g v (Info (own_report v)) )
+    else if v = inst.receiver then begin
+      let rs =
+        {
+          self = v;
+          dealer = inst.dealer;
+          own = own_report v;
+          budgets;
+          values = Hashtbl.create 4;
+          reports = Hashtbl.create 16;
+          decided = None;
+          truncated = false;
+          dirty = false;
+        }
+      in
+      (Receiver rs, [])
+    end
+    else (Relay v, Flood.originate g v (Info (own_report v)))
+  in
+  let step v st ~round:_ ~inbox =
+    match st with
+    | Dealer_done -> (st, [])
+    | Relay self -> (st, Flood.relay g self ~inbox)
+    | Receiver rs ->
+      List.iter (fun (src, m) -> ingest rs ~src m) inbox;
+      if rs.dirty && rs.decided = None then begin
+        rs.dirty <- false;
+        try_decide rs
+      end;
+      ignore v;
+      (st, [])
+  in
+  Engine.{ init; step; decision }
+
+let receiver_trace st =
+  match st with
+  | Dealer_done -> "dealer"
+  | Relay v -> Printf.sprintf "relay %d" v
+  | Receiver rs ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "receiver %d: decided=%s truncated=%b\n" rs.self
+         (match rs.decided with None -> "⊥" | Some x -> string_of_int x)
+         rs.truncated);
+    Hashtbl.iter
+      (fun x tbl ->
+        Buffer.add_string buf
+          (Printf.sprintf "  value %d via %d path(s)\n" x (Hashtbl.length tbl)))
+      rs.values;
+    Buffer.add_string buf
+      (Printf.sprintf "  reports about %d node(s)\n" (Hashtbl.length rs.reports));
+    Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end runner                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = {
+  decided : int option;
+  correct : bool;
+  rounds : int;
+  messages : int;
+  bits : int;
+  truncated : bool;
+}
+
+let run ?budgets ?max_messages ?(adversary = Engine.no_adversary)
+    (inst : Instance.t) ~x_dealer =
+  let auto = automaton ?budgets inst ~x_dealer in
+  let outcome =
+    Engine.run ?max_messages ~size_of:msg_size
+      ~stop_when:(fun dec -> dec inst.receiver <> None)
+      ~graph:inst.graph ~adversary auto
+  in
+  let decided = Engine.decision_of outcome inst.receiver in
+  let recv_truncated =
+    match List.assoc_opt inst.receiver outcome.states with
+    | Some st -> search_truncated st
+    | None -> false
+  in
+  {
+    decided;
+    correct = decided = Some x_dealer;
+    rounds = outcome.stats.rounds;
+    messages = outcome.stats.messages;
+    bits = outcome.stats.bits;
+    truncated = outcome.stats.truncated || recv_truncated;
+  }

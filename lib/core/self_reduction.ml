@@ -1,0 +1,110 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_net
+
+(* ------------------------------------------------------------------ *)
+(* Basic instances                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let basic_graph ~dealer ~receiver ~middle =
+  if Nodeset.is_empty middle then
+    invalid_arg "Self_reduction.basic_graph: empty middle set";
+  if dealer = receiver || Nodeset.mem dealer middle || Nodeset.mem receiver middle
+  then invalid_arg "Self_reduction.basic_graph: overlapping roles";
+  Nodeset.fold
+    (fun a g -> Graph.add_edge dealer a (Graph.add_edge a receiver g))
+    middle Graph.empty
+
+let basic_instance ~dealer ~receiver ~middle ~structure =
+  let graph = basic_graph ~dealer ~receiver ~middle in
+  let structure = Structure.restrict middle structure in
+  Instance.ad_hoc_of ~graph ~structure ~dealer ~receiver
+
+let basic_solvable ~middle ~structure =
+  let ms = Structure.maximal_sets (Structure.restrict middle structure) in
+  not
+    (List.exists
+       (fun z1 ->
+         List.exists
+           (fun z2 -> Nodeset.equal (Nodeset.union z1 z2) middle)
+           ms)
+       ms)
+
+(* ------------------------------------------------------------------ *)
+(* Π and the decision protocol                                         *)
+(* ------------------------------------------------------------------ *)
+
+module type PI = sig
+  type s
+  type m
+
+  val automaton : Instance.t -> x_dealer:int -> (s, m) Engine.automaton
+end
+
+type pi = (module PI)
+
+let zcpa_pi : pi =
+  (module struct
+    type s = Zcpa.state
+    type m = int
+
+    let automaton inst ~x_dealer =
+      Zcpa.automaton
+        ~decider:(Zcpa.decider_of_oracle (Zcpa.direct_oracle inst))
+        inst ~x_dealer
+  end)
+
+let rmt_pka_pi : pi =
+  (module struct
+    type s = Rmt_pka.state
+    type m = Rmt_pka.msg
+
+    let automaton inst ~x_dealer = Rmt_pka.automaton inst ~x_dealer
+  end)
+
+(* The Theorem 9 decision protocol.  Player v, holding value classes
+   (a_l, A_l) over A = ⋃ A_l, simulates for each l the paired runs
+     e_0^l : (G', 𝒵_v, D, v), dealer value 0, corruption A ∖ A_l
+     e_1^l : same instance,    dealer value 1, corruption A_l
+   with each corrupted side mirroring its honest twin (Figure 2), and
+   decides a_l iff e_0^l ends with decision 0.  Equation (1) of the proof
+   guarantees that at most one l qualifies once v has enough evidence. *)
+let decision_protocol ~pi ~structure_of ~dealer : Zcpa.decider =
+  let (module P : PI) = pi in
+  fun ~v classes ->
+    let classes = List.sort compare classes in
+    let middle =
+      List.fold_left
+        (fun acc (_, s) -> Nodeset.union acc s)
+        Nodeset.empty classes
+    in
+    if Nodeset.is_empty middle then None
+    else begin
+      let inst' =
+        basic_instance ~dealer ~receiver:v ~middle ~structure:(structure_of v)
+      in
+      List.find_map
+        (fun (a_l, class_l) ->
+          (* Π is safe on every instance, so decision 0 in e_0^l soundly
+             certifies A_l ∉ 𝒵_v: were A_l admissible, e_1^l would be a
+             valid run in which safety forbids deciding 0, and the views
+             coincide.  This holds even when l is not yet the certified
+             class (then e_0^l simply does not decide 0). *)
+          let c1 = Nodeset.diff middle class_l in
+          let c2 = class_l in
+          let verdict =
+            Attack.co_simulate ~graph:inst'.graph ~c1 ~c2
+              (P.automaton inst' ~x_dealer:0)
+              (P.automaton inst' ~x_dealer:1)
+              ~receiver:v
+          in
+          if verdict.decision_e = Some 0 then Some a_l else None)
+        classes
+    end
+
+let simulated_decider ?(pi = zcpa_pi) (inst : Instance.t) =
+  decision_protocol ~pi
+    ~structure_of:(fun v -> Instance.local_structure inst v)
+    ~dealer:inst.dealer

@@ -1,0 +1,94 @@
+(** Self-reducibility of RMT (Section 5, Theorem 9) — the machinery behind
+    poly-time uniqueness of the 𝒵-CPA scheme (Corollary 10).
+
+    {b Basic instances} ([𝒢'], Figure 1) have a dealer, a middle set
+    [A(G')] and a receiver, with edges only dealer–middle and
+    middle–receiver.  RMT is solvable on such an instance iff the middle
+    set is not the union of two admissible corruption sets.
+
+    {b Decision protocol} (proof of Theorem 9): when a player [v] has
+    partitioned the neighbors it heard from into value classes
+    [A_1 … A_m], exactly one class [A_h ∉ 𝒵_v] exists, and [v] can find it
+    by simulating, for each [l], the paired runs [e_0^l] (dealer value 0,
+    corruption [A ∖ A_l]) and [e_1^l] (dealer value 1, corruption [A_l])
+    of any protocol [Π] solving RMT on basic instances — each corrupted
+    side mirroring its honest twin, exactly the co-simulation of
+    {!Attack.co_simulate} (Figure 2).  [v] decides [a_l] for the [l]
+    whose run [e_0^l] ends with decision 0.
+
+    Plugging the resulting {!Zcpa.decider} into the 𝒵-CPA scheme turns
+    any fully polynomial [Π] for the basic family into a fully polynomial
+    protocol for the original family: 𝒵-CPA is poly-time unique.
+    Experiment E7 validates the construction by checking that the
+    simulation-based decider and the direct membership oracle produce
+    identical decisions.
+
+    One deviation from the proof's bookkeeping: Theorem 9 halts any
+    simulated local computation that exceeds an explicit bound [B] (the
+    polynomial bound of Π on valid runs) to keep the invalid run of each
+    pair polynomial.  Our Π implementations terminate on every input —
+    RMT-PKA under its {!Rmt_pka.budgets}, 𝒵-CPA unconditionally — so the
+    halting device is subsumed by those budgets rather than implemented as
+    a separate step counter. *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_net
+
+(** {1 Basic instances (the family 𝒢′ of Figure 1)} *)
+
+val basic_graph : dealer:int -> receiver:int -> middle:Nodeset.t -> Graph.t
+(** Star–star graph over the given (arbitrary) node ids.
+    @raise Invalid_argument if dealer/receiver collide with the middle
+    set or each other, or if the middle set is empty. *)
+
+val basic_instance :
+  dealer:int -> receiver:int -> middle:Nodeset.t -> structure:Structure.t ->
+  Instance.t
+(** Ad hoc instance on {!basic_graph} with the structure restricted to the
+    middle set. *)
+
+val basic_solvable : middle:Nodeset.t -> structure:Structure.t -> bool
+(** The closed-form feasibility criterion on basic instances: no two
+    admissible sets cover the middle set. *)
+
+(** {1 The protocol Π interface} *)
+
+module type PI = sig
+  type s
+  type m
+
+  val automaton : Instance.t -> x_dealer:int -> (s, m) Engine.automaton
+end
+
+type pi = (module PI)
+(** A protocol usable as the Theorem 9 subroutine.  Packaging the
+    automaton builder as a first-class module lets the paired runs share
+    the protocol's state and message types. *)
+
+(** {1 The simulated decider} *)
+
+val decision_protocol :
+  pi:pi ->
+  structure_of:(int -> Structure.t) ->
+  dealer:int ->
+  Zcpa.decider
+(** [decision_protocol ~pi ~structure_of ~dealer] builds the 𝒵-CPA rule-2
+    subroutine: for player [v] with value classes [(a_l, A_l)], it
+    simulates the paired runs on the basic instance
+    [(G', 𝒵_v, dealer, v)] with middle set [A = ⋃ A_l] and
+    [𝒵_v = structure_of v], returning the certified value, if any. *)
+
+val zcpa_pi : pi
+(** Π = 𝒵-CPA itself (with the direct oracle) — fully polynomial on basic
+    instances given the oracle. *)
+
+val rmt_pka_pi : pi
+(** Π = RMT-PKA — demonstrates that the reduction is agnostic in the
+    subroutine protocol. *)
+
+val simulated_decider : ?pi:pi -> Instance.t -> Zcpa.decider
+(** The decider for a concrete instance: [structure_of] is the instance's
+    local structure and [dealer] its dealer ([Π] defaults to {!zcpa_pi}). *)

@@ -1,0 +1,237 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_net
+
+(* ------------------------------------------------------------------ *)
+(* RMT-PKA strategies                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pka_silent corrupted = Byzantine.silent corrupted
+
+let pka_mimic inst ~x_dealer corrupted =
+  Byzantine.mimic_honest corrupted (Rmt_pka.automaton inst ~x_dealer)
+
+let map_payload f (s : Rmt_pka.msg Engine.send) =
+  Engine.
+    { s with payload = { s.payload with Flood.payload = f s.payload.Flood.payload } }
+
+let pka_value_flip inst ~x_dealer ~x_fake corrupted =
+  Byzantine.transform corrupted (Rmt_pka.automaton inst ~x_dealer)
+    (fun _ ~round:_ s ->
+      [
+        map_payload
+          (function
+            | Rmt_pka.Value _ -> Rmt_pka.Value x_fake
+            | Rmt_pka.Info r -> Rmt_pka.Info r)
+          s;
+      ])
+
+(* Inject forged messages on top of honest behavior. *)
+let with_injection inst ~x_dealer corrupted inject =
+  let honest =
+    Byzantine.mimic_honest corrupted (Rmt_pka.automaton inst ~x_dealer)
+  in
+  Engine.
+    {
+      corrupted;
+      act =
+        (fun v ~round ~inbox ->
+          honest.act v ~round ~inbox @ inject v ~round);
+    }
+
+let broadcast_msg g v m =
+  Nodeset.fold
+    (fun u acc -> Engine.{ dst = u; payload = m } :: acc)
+    (Graph.neighbors v g)
+    []
+
+let pka_trail_forge (inst : Instance.t) ~x_dealer ~x_fake corrupted =
+  with_injection inst ~x_dealer corrupted (fun v ~round ->
+      if round = 1 then
+        broadcast_msg inst.graph v
+          Flood.{ payload = Rmt_pka.Value x_fake; trail = [ inst.dealer; v ] }
+      else [])
+
+let permissive_structure ground =
+  (* "anyone but me might be corrupted" — a maximally permissive lie *)
+  Structure.of_sets ~ground [ ground ]
+
+let pka_topology_liar (inst : Instance.t) ~x_dealer corrupted =
+  with_injection inst ~x_dealer corrupted (fun v ~round ->
+      if round = 1 then begin
+        let true_gamma = Instance.local_view inst v in
+        let fake_gamma = Graph.add_edge v inst.dealer true_gamma in
+        let ground = Nodeset.remove inst.dealer (Graph.nodes fake_gamma) in
+        let fake_report =
+          Rmt_pka.
+            { origin = v; gamma = fake_gamma; zeta = permissive_structure ground }
+        in
+        broadcast_msg inst.graph v
+          Flood.{ payload = Rmt_pka.Info fake_report; trail = [ v ] }
+      end
+      else [])
+
+let pka_fictitious (inst : Instance.t) ~x_dealer ~x_fake corrupted =
+  (* the phantom gets an id just above every real node *)
+  let phantom =
+    match Nodeset.max_elt_opt (Graph.nodes inst.graph) with
+    | Some m -> m + 1
+    | None -> 0
+  in
+  with_injection inst ~x_dealer corrupted (fun v ~round ->
+      if round = 1 then begin
+        let phantom_gamma =
+          Graph.add_edge phantom v
+            (Graph.add_edge phantom inst.dealer Graph.empty)
+        in
+        let phantom_report =
+          Rmt_pka.
+            {
+              origin = phantom;
+              gamma = phantom_gamma;
+              zeta = Structure.trivial ~ground:Nodeset.empty;
+            }
+        in
+        broadcast_msg inst.graph v
+          Flood.{ payload = Rmt_pka.Info phantom_report; trail = [ phantom; v ] }
+        @ broadcast_msg inst.graph v
+            Flood.
+              {
+                payload = Rmt_pka.Value x_fake;
+                trail = [ inst.dealer; phantom; v ];
+              }
+      end
+      else [])
+
+let pka_edge_forger (inst : Instance.t) ~x_dealer ~x_fake corrupted =
+  with_injection inst ~x_dealer corrupted (fun v ~round ->
+      if round = 1 then begin
+        let nbrs = Graph.neighbors v inst.graph in
+        (* claim a clique over the neighborhood plus dealer spokes *)
+        let fake_gamma =
+          Nodeset.fold
+            (fun u acc ->
+              let acc =
+                if u <> inst.dealer then Graph.add_edge inst.dealer u acc
+                else acc
+              in
+              Nodeset.fold
+                (fun w acc -> if u < w then Graph.add_edge u w acc else acc)
+                nbrs acc)
+            nbrs
+            (Instance.local_view inst v)
+        in
+        let ground = Nodeset.remove inst.dealer (Graph.nodes fake_gamma) in
+        let report =
+          Rmt_pka.
+            { origin = v; gamma = fake_gamma; zeta = permissive_structure ground }
+        in
+        broadcast_msg inst.graph v
+          Flood.{ payload = Rmt_pka.Info report; trail = [ v ] }
+        @ Nodeset.fold
+            (fun u acc ->
+              (* a value that "arrived" over the invented dealer spoke *)
+              broadcast_msg inst.graph v
+                Flood.
+                  {
+                    payload = Rmt_pka.Value x_fake;
+                    trail = [ inst.dealer; u; v ];
+                  }
+              @ acc)
+            nbrs []
+      end
+      else [])
+
+let pka_fuzz rng (inst : Instance.t) ~x_dealer corrupted =
+  let nodes = Graph.nodes inst.graph in
+  let n = Graph.num_nodes inst.graph in
+  let random_node () =
+    (* mostly real ids, sometimes a phantom *)
+    if Prng.int rng 5 = 0 then n + Prng.int rng 3
+    else Prng.pick rng (Nodeset.to_array nodes)
+  in
+  let random_trail v =
+    let len = 1 + Prng.int rng 4 in
+    List.init len (fun _ -> random_node ()) @ [ v ]
+  in
+  let random_graph () =
+    let g = ref Graph.empty in
+    for _ = 1 to 1 + Prng.int rng 5 do
+      let a = random_node () and b = random_node () in
+      if a <> b then g := Graph.add_edge a b !g else g := Graph.add_node a !g
+    done;
+    !g
+  in
+  let random_payload () =
+    if Prng.bool rng then Rmt_pka.Value (Prng.int rng 100)
+    else begin
+      let gamma = random_graph () in
+      let origin =
+        match Nodeset.choose_opt (Graph.nodes gamma) with
+        | Some v -> v
+        | None -> random_node ()
+      in
+      let gamma = Graph.add_node origin gamma in
+      let ground = Graph.nodes gamma in
+      let zeta =
+        if Prng.bool rng then Structure.trivial ~ground
+        else Structure.of_sets ~ground [ Prng.subset rng ground 0.5 ]
+      in
+      Rmt_pka.Info { origin; gamma; zeta }
+    end
+  in
+  with_injection inst ~x_dealer corrupted (fun v ~round ->
+      if round <= n then begin
+        let spam = 1 + Prng.int rng 3 in
+        List.concat
+          (List.init spam (fun _ ->
+               broadcast_msg inst.graph v
+                 Flood.{ payload = random_payload (); trail = random_trail v }))
+      end
+      else [])
+
+let pka_full_menu inst ~x_dealer ~x_fake corrupted =
+  [
+    ("silent", pka_silent corrupted);
+    ("mimic", pka_mimic inst ~x_dealer corrupted);
+    ("value-flip", pka_value_flip inst ~x_dealer ~x_fake corrupted);
+    ("trail-forge", pka_trail_forge inst ~x_dealer ~x_fake corrupted);
+    ("topology-liar", pka_topology_liar inst ~x_dealer corrupted);
+    ("fictitious-node", pka_fictitious inst ~x_dealer ~x_fake corrupted);
+    ("edge-forger", pka_edge_forger inst ~x_dealer ~x_fake corrupted);
+    ("fuzz", pka_fuzz (Prng.create 424242) inst ~x_dealer corrupted);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Value-message strategies                                            *)
+(* ------------------------------------------------------------------ *)
+
+let value_silent corrupted = Byzantine.silent corrupted
+
+let value_flip ~x_fake g corrupted =
+  Byzantine.of_fun corrupted (fun v ~round ~inbox:_ ->
+      if round = 1 then
+        Nodeset.fold
+          (fun u acc -> Engine.{ dst = u; payload = x_fake } :: acc)
+          (Graph.neighbors v g)
+          []
+      else [])
+
+let value_spam rng ~values g corrupted =
+  Byzantine.of_fun corrupted (fun v ~round ~inbox:_ ->
+      if round <= Graph.num_nodes g && values <> [] then
+        Nodeset.fold
+          (fun u acc ->
+            Engine.{ dst = u; payload = Prng.pick_list rng values } :: acc)
+          (Graph.neighbors v g)
+          []
+      else [])
+
+let value_full_menu rng ~x_fake g corrupted =
+  [
+    ("silent", value_silent corrupted);
+    ("value-flip", value_flip ~x_fake g corrupted);
+    ("value-spam", value_spam rng ~values:[ x_fake; x_fake + 1 ] g corrupted);
+  ]

@@ -1,0 +1,85 @@
+(** Protocol-specific Byzantine strategies.
+
+    The safety experiments (E2) exercise RMT-PKA and 𝒵-CPA against the
+    full menu of misbehavior the paper credits the adversary with:
+    blocking, altering relayed values, forging propagation trails,
+    reporting fictitious topology and false local knowledge, and
+    inventing nodes that do not exist.  Every builder takes the corrupted
+    set explicitly; behaviors are deterministic unless a PRNG is given. *)
+
+open Rmt_base
+open Rmt_knowledge
+open Rmt_net
+
+(** {1 Against RMT-PKA} *)
+
+val pka_silent : Nodeset.t -> Rmt_pka.msg Engine.strategy
+
+val pka_mimic : Instance.t -> x_dealer:int -> Nodeset.t -> Rmt_pka.msg Engine.strategy
+(** Corrupted players follow the protocol (sanity baseline). *)
+
+val pka_value_flip :
+  Instance.t -> x_dealer:int -> x_fake:int -> Nodeset.t ->
+  Rmt_pka.msg Engine.strategy
+(** Relay faithfully, but substitute [x_fake] in every type-1 payload. *)
+
+val pka_trail_forge :
+  Instance.t -> x_dealer:int -> x_fake:int -> Nodeset.t ->
+  Rmt_pka.msg Engine.strategy
+(** Behave honestly, and additionally inject type-1 messages claiming
+    [x_fake] arrived straight from the dealer over the forged trail
+    [[D; c]]. *)
+
+val pka_topology_liar :
+  Instance.t -> x_dealer:int -> Nodeset.t -> Rmt_pka.msg Engine.strategy
+(** Behave honestly for relaying, but advertise a forged own-report: a
+    view claiming a direct edge to the dealer and an overly permissive
+    local structure. *)
+
+val pka_fictitious :
+  Instance.t -> x_dealer:int -> x_fake:int -> Nodeset.t ->
+  Rmt_pka.msg Engine.strategy
+(** Invent a non-existent node wired to the corrupted player and the
+    dealer, inject its type-2 report and an [x_fake] type-1 trail passing
+    through it. *)
+
+val pka_edge_forger :
+  Instance.t -> x_dealer:int -> x_fake:int -> Nodeset.t ->
+  Rmt_pka.msg Engine.strategy
+(** Behave honestly, but advertise an own-view that invents edges between
+    the dealer, the corrupted player's neighbors and the player itself,
+    and inject type-1 messages whose trails run over the invented edges.
+    Probes the claimed-graph distortion channel discussed in DESIGN.md §5:
+    fake honest–honest adjacencies reshape the receiver's candidate
+    components. *)
+
+val pka_fuzz :
+  Prng.t -> Instance.t -> x_dealer:int -> Nodeset.t ->
+  Rmt_pka.msg Engine.strategy
+(** Chaos: every round for the first [|V|] rounds, corrupted players spray
+    structurally random messages — random values, random (possibly
+    nonsense) trails, random forged reports about random (possibly
+    fictitious) nodes with random claimed graphs and structures — on top
+    of honest behavior.  Exists to fuzz the receiver's safety: no storm of
+    garbage may ever produce a wrong decision. *)
+
+val pka_full_menu :
+  Instance.t -> x_dealer:int -> x_fake:int -> Nodeset.t ->
+  (string * Rmt_pka.msg Engine.strategy) list
+(** All of the above, labelled — the E2 battery. *)
+
+(** {1 Against value-message protocols (𝒵-CPA, CPA, naive)} *)
+
+val value_silent : Nodeset.t -> int Engine.strategy
+
+val value_flip : x_fake:int -> Rmt_graph.Graph.t -> Nodeset.t -> int Engine.strategy
+(** Push [x_fake] to all neighbors in round 1 and echo it forever after
+    (the strongest simple lie). *)
+
+val value_spam :
+  Prng.t -> values:int list -> Rmt_graph.Graph.t -> Nodeset.t -> int Engine.strategy
+(** Send random values from the list to random neighbors each round. *)
+
+val value_full_menu :
+  Prng.t -> x_fake:int -> Rmt_graph.Graph.t -> Nodeset.t ->
+  (string * int Engine.strategy) list

@@ -1,0 +1,67 @@
+(** Topology generators used by tests, examples and benchmarks.
+
+    All generators number nodes [0 .. n-1] unless stated otherwise and are
+    deterministic given their arguments (random ones take an explicit
+    {!Rmt_base.Prng.t}). *)
+
+open Rmt_base
+
+val path_graph : int -> Graph.t
+(** [0 - 1 - ... - (n-1)]. *)
+
+val cycle : int -> Graph.t
+(** Requires [n >= 3]. *)
+
+val complete : int -> Graph.t
+
+val star : int -> Graph.t
+(** Center [0], leaves [1 .. n-1]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]; node [(i,j)] has id [i*cols + j]. *)
+
+val king_grid : int -> int -> Graph.t
+(** Grid plus diagonal links (the king's-move graph) — a denser sensor
+    field where interior nodes have eight neighbors. *)
+
+val layered : width:int -> depth:int -> Graph.t
+(** The "onion" topology: node 0 (dealer side), then [depth] layers of
+    [width] nodes with complete bipartite connections between consecutive
+    layers, then a final node (id [1 + width*depth]).  Classic RMT/broadcast
+    benchmark family: every D–R path crosses every layer. *)
+
+val basic_instance_graph : int -> Graph.t
+(** Figure 1's family [G']: dealer [0], middle set [A(G) = {1..m}],
+    receiver [m+1]; edges only dealer–middle and middle–receiver. *)
+
+val random_gnp : Prng.t -> int -> float -> Graph.t
+(** Erdős–Rényi [G(n,p)]. *)
+
+val random_connected_gnp : Prng.t -> int -> float -> Graph.t
+(** [G(n,p)] conditioned on connectivity: resamples until connected
+    (raises [Failure] after 10_000 attempts — choose a sensible [p]). *)
+
+val random_regular_ish : Prng.t -> int -> int -> Graph.t
+(** Union of [d] uniformly random perfect-matching-like pairings; the
+    result has average degree close to [d] and is usually connected for
+    [d >= 3].  Not exactly regular — good enough as a workload. *)
+
+val communities : Prng.t -> blocks:int -> size:int -> p_in:float -> p_out:float -> Graph.t
+(** Stochastic block model: [blocks] groups of [size] nodes, intra-block
+    edge probability [p_in], inter-block [p_out]. *)
+
+val ladder : int -> Graph.t
+(** Two parallel paths of length [n] with rungs: 2n nodes. *)
+
+val hypercube : int -> Graph.t
+(** The [d]-dimensional hypercube: [2^d] nodes, ids are bit vectors,
+    edges between Hamming-distance-1 pairs.  Requires [0 <= d <= 16]. *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary tree of the given depth: root [0], node [v]'s children
+    are [2v+1] and [2v+2].  Depth 0 is a single node. *)
+
+val barbell : int -> Graph.t
+(** Two [K_n] cliques joined by a single bridge edge: [2n] nodes, the
+    bridge connects node [n-1] to node [n].  The canonical
+    single-point-of-failure topology. *)

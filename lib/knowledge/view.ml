@@ -1,0 +1,67 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+
+type t = {
+  g : Graph.t;
+  assign : int -> Graph.t; (* total: empty graph off the node set *)
+  label : string;
+}
+
+let guard g assign v =
+  if Graph.mem_node v g then begin
+    let gv = assign v in
+    if not (Graph.mem_node v gv) then
+      invalid_arg "View: v must belong to γ(v)";
+    if not (Graph.is_subgraph gv g) then
+      invalid_arg "View: γ(v) must be a subgraph of G";
+    gv
+  end
+  else Graph.empty
+
+let full g = { g; assign = (fun _ -> g); label = "full" }
+
+let star_of g v =
+  Nodeset.fold
+    (fun u acc -> Graph.add_edge v u acc)
+    (Graph.neighbors v g)
+    (Graph.add_node v Graph.empty)
+
+let ad_hoc g =
+  { g; assign = (fun v -> star_of g v); label = "ad-hoc" }
+
+let radius k g =
+  {
+    g;
+    assign = (fun v -> Graph.restrict_to_radius v k g);
+    label = Printf.sprintf "radius-%d" k;
+  }
+
+let of_assignment g f =
+  (* validate eagerly on all nodes so mistakes surface at construction *)
+  Nodeset.iter (fun v -> ignore (guard g f v)) (Graph.nodes g);
+  { g; assign = f; label = "custom" }
+
+let graph t = t.g
+
+let view t v = if Graph.mem_node v t.g then t.assign v else Graph.empty
+
+let view_nodes t v = Graph.nodes (view t v)
+
+let joint t s =
+  Nodeset.fold (fun v acc -> Graph.union (view t v) acc) s Graph.empty
+
+let joint_nodes t s = Graph.nodes (joint t s)
+
+let leq t' t =
+  Graph.equal t'.g t.g
+  && Nodeset.for_all
+       (fun v -> Graph.is_subgraph (view t' v) (view t v))
+       (Graph.nodes t.g)
+
+let local_structure t z v = Structure.restrict (view_nodes t v) z
+
+let label t = t.label
+
+let pp ppf t =
+  Format.fprintf ppf "view<%s over %d nodes>" t.label (Graph.num_nodes t.g)

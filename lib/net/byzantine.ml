@@ -1,0 +1,76 @@
+open Rmt_base
+
+type 'm t = 'm Engine.strategy
+
+let silent corrupted =
+  Engine.{ corrupted; act = (fun _ ~round:_ ~inbox:_ -> []) }
+
+(* Run the honest automaton inside the strategy.  State lives in a table
+   keyed by node; [init] fires on the node's first activation (round 0). *)
+let mimic_states automaton =
+  let states = Hashtbl.create 8 in
+  fun v ~round ~inbox ->
+    match Hashtbl.find_opt states v with
+    | None ->
+      let st, sends = automaton.Engine.init v in
+      (* round-0 call corresponds to init; later first calls replay init
+         then immediately step (the node was silent before) *)
+      if round = 0 then begin
+        Hashtbl.replace states v st;
+        sends
+      end
+      else begin
+        let st', sends' = automaton.Engine.step v st ~round ~inbox in
+        Hashtbl.replace states v st';
+        sends @ sends'
+      end
+    | Some st ->
+      let st', sends = automaton.Engine.step v st ~round ~inbox in
+      Hashtbl.replace states v st';
+      sends
+
+let mimic_honest corrupted automaton =
+  Engine.{ corrupted; act = mimic_states automaton }
+
+let crash_after corrupted automaton k =
+  let act = mimic_states automaton in
+  Engine.
+    {
+      corrupted;
+      act =
+        (fun v ~round ~inbox -> if round > k then [] else act v ~round ~inbox);
+    }
+
+let drop_randomly rng corrupted automaton p =
+  let act = mimic_states automaton in
+  Engine.
+    {
+      corrupted;
+      act =
+        (fun v ~round ~inbox ->
+          List.filter (fun _ -> Prng.float rng 1.0 >= p) (act v ~round ~inbox));
+    }
+
+let transform corrupted automaton f =
+  let act = mimic_states automaton in
+  Engine.
+    {
+      corrupted;
+      act =
+        (fun v ~round ~inbox ->
+          List.concat_map (fun s -> f v ~round s) (act v ~round ~inbox));
+    }
+
+let per_node ~default overrides =
+  let extra = Nodeset.of_list (List.map fst overrides) in
+  Engine.
+    {
+      corrupted = Nodeset.union default.corrupted extra;
+      act =
+        (fun v ~round ~inbox ->
+          match List.assoc_opt v overrides with
+          | Some act -> act ~round ~inbox
+          | None -> default.act v ~round ~inbox);
+    }
+
+let of_fun corrupted act = Engine.{ corrupted; act }

@@ -1,0 +1,46 @@
+(** Generic Byzantine strategy combinators.
+
+    Protocol-specific attacks (value flipping inside RMT messages, forged
+    propagation trails, fictitious topology) are built next to the
+    protocols; this module provides the protocol-agnostic scaffolding:
+    silence, crash, honest mimicry, probabilistic dropping, per-node
+    dispatch. *)
+
+open Rmt_base
+
+type 'm t = 'm Engine.strategy
+
+val silent : Nodeset.t -> 'm t
+(** Corrupted players never send anything. *)
+
+val mimic_honest : Nodeset.t -> ('s, 'm) Engine.automaton -> 'm t
+(** Corrupted players run the honest protocol faithfully (the weakest
+    admissible behavior; useful as a baseline and for two-run
+    constructions where one side is honest-in-the-other-run).
+
+    {b Single-run value:} the mimicked protocol state lives inside the
+    strategy, so a value built with this (or any combinator derived from
+    it — {!crash_after}, {!drop_randomly}, {!transform}) must be used for
+    exactly one {!Engine.run}; build a fresh strategy per run. *)
+
+val crash_after : Nodeset.t -> ('s, 'm) Engine.automaton -> int -> 'm t
+(** Honest behavior through round [k], silence afterwards. *)
+
+val drop_randomly :
+  Prng.t -> Nodeset.t -> ('s, 'm) Engine.automaton -> float -> 'm t
+(** Honest behavior, but each outgoing message is dropped independently
+    with the given probability. *)
+
+val transform :
+  Nodeset.t -> ('s, 'm) Engine.automaton ->
+  (int -> round:int -> 'm Engine.send -> 'm Engine.send list) -> 'm t
+(** Honest behavior with every outgoing send rewritten by the supplied
+    function (which may drop, alter or multiply messages). *)
+
+val per_node :
+  default:'m t -> (int * (round:int -> inbox:(int * 'm) list -> 'm Engine.send list)) list -> 'm t
+(** Dispatches to a bespoke behavior per corrupted node, falling back to
+    [default] for the rest.  The corrupted set is the union. *)
+
+val of_fun :
+  Nodeset.t -> (int -> round:int -> inbox:(int * 'm) list -> 'm Engine.send list) -> 'm t

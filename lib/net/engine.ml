@@ -1,0 +1,173 @@
+open Rmt_base
+open Rmt_graph
+
+type 'm send = { dst : int; payload : 'm }
+
+type ('s, 'm) automaton = {
+  init : int -> 's * 'm send list;
+  step :
+    int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  decision : 's -> int option;
+}
+
+type 'm strategy = {
+  corrupted : Nodeset.t;
+  act : int -> round:int -> inbox:(int * 'm) list -> 'm send list;
+}
+
+let no_adversary =
+  { corrupted = Nodeset.empty; act = (fun _ ~round:_ ~inbox:_ -> []) }
+
+type stats = {
+  rounds : int;
+  messages : int;
+  bits : int;
+  per_round : int array;
+  truncated : bool;
+}
+
+type ('s, 'm) outcome = {
+  stats : stats;
+  decisions : (int * int) list;
+  decision_rounds : (int * int) list;
+  states : (int * 's) list;
+}
+
+let decision_of outcome v = List.assoc_opt v outcome.decisions
+
+let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
+    ?(stop_when = fun _ -> false)
+    ?(on_deliver = fun ~round:_ ~src:_ ~dst:_ _ -> ()) ~graph ~adversary
+    automaton =
+  let nodes = Graph.nodes graph in
+  if not (Nodeset.subset adversary.corrupted nodes) then
+    invalid_arg "Engine.run: corrupted set outside the graph";
+  let honest = Nodeset.diff nodes adversary.corrupted in
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None -> (4 * Graph.num_nodes graph) + 8
+  in
+  let states : (int, 's) Hashtbl.t = Hashtbl.create 16 in
+  let decision_rounds : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let messages = ref 0 in
+  let bits = ref 0 in
+  let per_round = ref [] in
+  (* in-flight messages: (src, dst, payload), to deliver next round *)
+  let in_flight : (int * int * 'm) list ref = ref [] in
+  let note_decisions round =
+    Nodeset.iter
+      (fun v ->
+        if not (Hashtbl.mem decision_rounds v) then
+          match automaton.decision (Hashtbl.find states v) with
+          | Some _ -> Hashtbl.replace decision_rounds v round
+          | None -> ())
+      honest
+  in
+  let enqueue ~is_honest src sends =
+    List.iter
+      (fun { dst; payload } ->
+        if Graph.mem_edge src dst graph then
+          in_flight := (src, dst, payload) :: !in_flight
+        else if is_honest then
+          invalid_arg
+            (Printf.sprintf "Engine.run: honest node %d sent to non-neighbor %d"
+               src dst))
+      sends
+  in
+  (* round 0: initialization *)
+  Nodeset.iter
+    (fun v ->
+      let st, sends = automaton.init v in
+      Hashtbl.replace states v st;
+      enqueue ~is_honest:true v sends)
+    honest;
+  Nodeset.iter
+    (fun v -> enqueue ~is_honest:false v (adversary.act v ~round:0 ~inbox:[]))
+    adversary.corrupted;
+  note_decisions 0;
+  per_round := 0 :: !per_round;
+  let rounds = ref 1 in
+  let decision_map v =
+    match Hashtbl.find_opt states v with
+    | None -> None
+    | Some st -> automaton.decision st
+  in
+  (* With an active adversary we cannot infer quiescence from an empty
+     in-flight queue: a corrupted node may stay silent and inject messages
+     later.  In that case run until [stop_when] or [max_rounds]. *)
+  let live () =
+    !in_flight <> [] || not (Nodeset.is_empty adversary.corrupted)
+  in
+  let truncated = ref false in
+  let continue = ref (live () && not (stop_when decision_map)) in
+  while !continue && !rounds <= max_rounds && not !truncated do
+    if !messages + List.length !in_flight > max_messages then
+      truncated := true
+    else begin
+    let round = !rounds in
+    let deliveries = !in_flight in
+    in_flight := [];
+    let delivered = List.length deliveries in
+    messages := !messages + delivered;
+    List.iter (fun (_, _, p) -> bits := !bits + size_of p) deliveries;
+    per_round := delivered :: !per_round;
+    let inbox_of =
+      let tbl : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
+      (* deliveries were accumulated in reverse send order; restore it so
+         inboxes are in a deterministic, send-ordered sequence *)
+      List.iter
+        (fun (src, dst, p) ->
+          let cur = try Hashtbl.find tbl dst with Not_found -> [] in
+          Hashtbl.replace tbl dst ((src, p) :: cur))
+        deliveries;
+      fun v -> try Hashtbl.find tbl v with Not_found -> []
+    in
+    Nodeset.iter
+      (fun v ->
+        let inbox = inbox_of v in
+        List.iter
+          (fun (src, p) -> on_deliver ~round ~src ~dst:v p)
+          inbox;
+        if inbox <> [] || round = 1 then begin
+          let st = Hashtbl.find states v in
+          let st', sends = automaton.step v st ~round ~inbox in
+          Hashtbl.replace states v st';
+          enqueue ~is_honest:true v sends
+        end)
+      honest;
+    Nodeset.iter
+      (fun v ->
+        let inbox = inbox_of v in
+        List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
+        enqueue ~is_honest:false v (adversary.act v ~round ~inbox))
+      adversary.corrupted;
+      note_decisions round;
+      incr rounds;
+      continue := live () && not (stop_when decision_map)
+    end
+  done;
+  let decisions =
+    Nodeset.fold
+      (fun v acc ->
+        match decision_map v with Some x -> (v, x) :: acc | None -> acc)
+      honest []
+    |> List.rev
+  in
+  {
+    stats =
+      {
+        rounds = !rounds;
+        messages = !messages;
+        bits = !bits;
+        per_round = Array.of_list (List.rev !per_round);
+        truncated = !truncated;
+      };
+    decisions;
+    decision_rounds =
+      Hashtbl.fold (fun v r acc -> (v, r) :: acc) decision_rounds []
+      |> List.sort compare;
+    states =
+      Nodeset.fold (fun v acc -> (v, Hashtbl.find states v) :: acc) honest []
+      |> List.rev;
+  }

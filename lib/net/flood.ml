@@ -1,0 +1,33 @@
+open Rmt_base
+open Rmt_graph
+
+type 'p msg = {
+  payload : 'p;
+  trail : Paths.path;
+}
+
+let rec tail_of = function
+  | [] -> None
+  | [ v ] -> Some v
+  | _ :: rest -> tail_of rest
+
+let trail_ok ~self ~src trail =
+  (not (List.mem self trail))
+  && tail_of trail = Some src
+  && Paths.is_simple trail
+
+let broadcast g v m =
+  Nodeset.fold
+    (fun u acc -> Engine.{ dst = u; payload = m } :: acc)
+    (Graph.neighbors v g)
+    []
+
+let originate g v a = broadcast g v { payload = a; trail = [ v ] }
+
+let relay g self ~inbox =
+  List.concat_map
+    (fun (src, m) ->
+      if trail_ok ~self ~src m.trail then
+        broadcast g self { m with trail = m.trail @ [ self ] }
+      else [])
+    inbox

@@ -1,0 +1,44 @@
+type t = {
+  mutable events : (int * int * int * string) list; (* reversed *)
+}
+
+let create ?pp_payload () =
+  let t = { events = [] } in
+  let summarize =
+    match pp_payload with
+    | Some f -> f
+    | None -> fun _ -> "·"
+  in
+  ( t,
+    fun ~round ~src ~dst payload ->
+      t.events <- (round, src, dst, summarize payload) :: t.events )
+
+let deliveries t = List.rev t.events
+
+let num_deliveries t = List.length t.events
+
+let render ?(max_lines = 200) t =
+  let buf = Buffer.create 512 in
+  let by_round =
+    Rmt_base.Util.group_by (fun (r, _, _, _) -> r) (deliveries t)
+  in
+  let lines = ref 0 in
+  List.iter
+    (fun (round, events) ->
+      if !lines < max_lines then begin
+        Buffer.add_string buf (Printf.sprintf "round %d (%d deliveries)\n" round
+                                 (List.length events));
+        incr lines;
+        List.iter
+          (fun (_, src, dst, s) ->
+            if !lines < max_lines then begin
+              Buffer.add_string buf (Printf.sprintf "  %d -> %d  %s\n" src dst s);
+              incr lines
+            end)
+          events
+      end)
+    by_round;
+  if !lines >= max_lines then
+    Buffer.add_string buf
+      (Printf.sprintf "... elided (%d deliveries total)\n" (num_deliveries t));
+  Buffer.contents buf

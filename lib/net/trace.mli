@@ -1,0 +1,24 @@
+(** Execution traces — observability for simulated runs.
+
+    A trace records every message delivery (round, source, destination,
+    payload summary) via the engine's [on_deliver] hook, plus the final
+    decisions, and renders a per-round timeline.  Intended for the CLI's
+    [--trace] flag and for debugging protocol implementations. *)
+
+type t
+
+val create : ?pp_payload:('m -> string) -> unit -> t * (round:int -> src:int -> dst:int -> 'm -> unit)
+(** A fresh trace and the hook to pass as [Engine.run ~on_deliver].
+    [pp_payload] summarizes messages (default: ["·"]).
+
+    The hook is monomorphic in the message type of its first use; create
+    one trace per run. *)
+
+val deliveries : t -> (int * int * int * string) list
+(** [(round, src, dst, summary)] in delivery order. *)
+
+val num_deliveries : t -> int
+
+val render : ?max_lines:int -> t -> string
+(** Human-readable per-round timeline; long rounds are elided with a
+    count.  [max_lines] defaults to 200. *)

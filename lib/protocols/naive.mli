@@ -1,0 +1,25 @@
+(** Deliberately unsafe strawman receivers.
+
+    These exist to make the indistinguishability attacks (Theorem 3 /
+    Theorem 8, experiment E2b) bite: a safe protocol reacts to an
+    attack by staying silent, which is invisible; a strawman that decides
+    eagerly gets demonstrably fooled into a wrong output. *)
+
+open Rmt_net
+
+type state
+
+val first_value :
+  Rmt_graph.Graph.t -> dealer:int -> receiver:int -> x_dealer:int ->
+  (state, int) Engine.automaton
+(** Gossip flooding; every player adopts and forwards the first value it
+    hears, the receiver decides on it.  Fast, and trivially unsafe. *)
+
+val neighbor_majority :
+  Rmt_graph.Graph.t -> dealer:int -> receiver:int -> x_dealer:int ->
+  (state, int) Engine.automaton
+(** Players adopt the value reported by a strict majority of the
+    neighbors heard from so far (ties: smallest value), then forward.
+    Unsafe whenever the adversary holds a majority around someone. *)
+
+val decision : state -> int option

@@ -1,0 +1,67 @@
+(** Instance generators and parameter sweeps for the experiment harness.
+
+    Instances come labelled so experiment tables can report per-family
+    rows.  All generators are deterministic given the PRNG. *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+
+type labelled = {
+  label : string;
+  instance : Instance.t;
+}
+
+(** {1 Topologies} *)
+
+val named_topologies : unit -> (string * Graph.t * int * int) list
+(** A fixed menu of small structured topologies
+    [(name, graph, dealer, receiver)] used across experiments: grid,
+    layered, ladder, cycle, wheel-ish communities, random-regular. *)
+
+type knowledge =
+  | Ad_hoc
+  | Radius of int
+  | Full
+
+val view_of : knowledge -> Graph.t -> View.t
+
+val knowledge_label : knowledge -> string
+
+(** {1 Adversary structures} *)
+
+type adversary_kind =
+  | Threshold of int  (** global-[t] *)
+  | Local of int  (** Koo's [t]-locally-bounded *)
+  | Random_antichain of { sets : int; max_size : int }
+
+val structure_of :
+  Prng.t -> adversary_kind -> Graph.t -> dealer:int -> Structure.t
+
+val adversary_label : adversary_kind -> string
+
+(** {1 Instance suites} *)
+
+val make_instance :
+  Prng.t -> Graph.t -> dealer:int -> receiver:int -> knowledge ->
+  adversary_kind -> Instance.t
+
+val tightness_suite : Prng.t -> count:int -> n:int -> labelled list
+(** Random connected [G(n, p)] instances with mixed adversary kinds and
+    knowledge levels — the E3 workload, balanced between solvable and
+    unsolvable instances. *)
+
+val ad_hoc_suite : Prng.t -> count:int -> n:int -> labelled list
+(** Same but always in the ad hoc model — the E4 workload. *)
+
+val scaling_family : width:int -> max_depth:int -> (int * Instance.t) list
+(** Layered instances of growing depth (ad hoc, global threshold
+    [t = width - 1 ... ] chosen solvable) keyed by node count — the E6
+    workload. *)
+
+val random_structures :
+  Prng.t -> universe:int -> sets:int -> max_size:int -> count:int ->
+  Structure.t list
+(** Random antichains over [{0..universe-1}] for the ⊕ micro-benchmarks
+    (E1/B-series). *)

@@ -1,0 +1,231 @@
+(* Tests for the RMT-cut (Definition 3) and RMT Z-pp cut (Definition 7)
+   deciders: known instances, brute-force equivalence, and the structural
+   cross-checks that the theory predicts (full-knowledge collapse to the
+   classic two-set condition; ad hoc equivalence of the two cut notions;
+   monotonicity of solvability in knowledge). *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_core
+
+let check = Alcotest.(check bool)
+let ns = Nodeset.of_list
+
+let ad_hoc_instance g ~t ~dealer ~receiver =
+  Instance.ad_hoc_of ~graph:g
+    ~structure:(Builders.global_threshold g ~dealer t)
+    ~dealer ~receiver
+
+(* random small instance generator *)
+let arb_instance =
+  let gen st =
+    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
+    let n = 5 + Prng.int rng 4 in
+    let g = Generators.random_connected_gnp rng n 0.45 in
+    let dealer = 0 in
+    let receiver = n - 1 in
+    let kind = Prng.int rng 3 in
+    let structure =
+      match kind with
+      | 0 -> Builders.global_threshold g ~dealer 1
+      | 1 -> Builders.global_threshold g ~dealer 2
+      | _ -> Builders.random_antichain rng g ~dealer ~sets:4 ~max_size:(n / 2)
+    in
+    let view =
+      match Prng.int rng 3 with
+      | 0 -> View.ad_hoc g
+      | 1 -> View.radius 1 g
+      | _ -> View.full g
+    in
+    Instance.make ~graph:g ~structure ~view ~dealer ~receiver
+  in
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Instance.pp i)
+    gen
+
+let arb_ad_hoc_instance =
+  let gen st =
+    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
+    let n = 5 + Prng.int rng 4 in
+    let g = Generators.random_connected_gnp rng n 0.45 in
+    let structure =
+      if Prng.bool rng then Builders.global_threshold g ~dealer:0 1
+      else Builders.random_antichain rng g ~dealer:0 ~sets:4 ~max_size:(n / 2)
+    in
+    Instance.ad_hoc_of ~graph:g ~structure ~dealer:0 ~receiver:(n - 1)
+  in
+  QCheck.make ~print:(fun i -> Format.asprintf "%a" Instance.pp i) gen
+
+(* ------------------------------------------------------------------ *)
+(* Known instances                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_path_has_cut () =
+  let inst = ad_hoc_instance (Generators.path_graph 4) ~t:1 ~dealer:0 ~receiver:3 in
+  let v = Cut.find_rmt_cut inst in
+  check "cut exists" true (Cut.exists_certainly v);
+  (match v.cut_found with
+   | Some w -> check "witness checks out" true (Cut.is_rmt_cut inst w.c1 w.c2)
+   | None -> Alcotest.fail "expected witness");
+  check "zpp too" true (Cut.exists_certainly (Cut.find_rmt_zpp_cut inst))
+
+let test_complete_no_cut () =
+  let inst = ad_hoc_instance (Generators.complete 4) ~t:1 ~dealer:0 ~receiver:3 in
+  check "no rmt cut" true (Cut.absent_certainly (Cut.find_rmt_cut inst));
+  check "no zpp cut" true (Cut.absent_certainly (Cut.find_rmt_zpp_cut inst))
+
+let test_layered_2x2_cut () =
+  (* connectivity 2 with t=1 and local receiver knowledge: cut exists *)
+  let g = Generators.layered ~width:2 ~depth:2 in
+  let inst = ad_hoc_instance g ~t:1 ~dealer:0 ~receiver:5 in
+  check "cut exists" true (Cut.exists_certainly (Cut.find_rmt_cut inst))
+
+let test_layered_3x2_no_cut () =
+  (* connectivity 3 with t=1: solvable even ad hoc *)
+  let g = Generators.layered ~width:3 ~depth:2 in
+  let inst = ad_hoc_instance g ~t:1 ~dealer:0 ~receiver:7 in
+  check "no cut" true (Cut.absent_certainly (Cut.find_rmt_cut inst));
+  check "no zpp cut" true (Cut.absent_certainly (Cut.find_rmt_zpp_cut inst))
+
+let test_receiver_adjacent_dealer () =
+  let g = Generators.path_graph 3 in
+  let inst =
+    Instance.ad_hoc_of ~graph:g
+      ~structure:(Builders.global_threshold g ~dealer:0 2)
+      ~dealer:0 ~receiver:1
+  in
+  (* no cut can exclude the dealer and separate adjacent nodes *)
+  check "adjacent: never a cut" true
+    (Cut.absent_certainly (Cut.find_rmt_cut inst))
+
+let test_asymmetric_structure () =
+  (* layered 2x2 where only node 3 is corruptible: full knowledge makes it
+     solvable (no two admissible sets cut), and in fact even ad hoc the
+     receiver can certify value via node 4's side *)
+  let g = Generators.layered ~width:2 ~depth:2 in
+  let structure = Builders.from_maximal g ~dealer:0 [ ns [ 3 ] ] in
+  let full =
+    Instance.make ~graph:g ~structure ~view:(View.full g) ~dealer:0 ~receiver:5
+  in
+  check "full knowledge solvable" true
+    (Cut.absent_certainly (Cut.find_rmt_cut full))
+
+let test_is_rmt_cut_direct () =
+  let g = Generators.path_graph 4 in
+  let inst = ad_hoc_instance g ~t:1 ~dealer:0 ~receiver:3 in
+  (* {1} ∈ Z and C2 = ∅: cut {1} splits; B = {2,3} *)
+  check "explicit cut" true (Cut.is_rmt_cut inst (ns [ 1 ]) Nodeset.empty);
+  check "non-cut rejected" false
+    (Cut.is_rmt_cut inst Nodeset.empty Nodeset.empty);
+  check "c1 too big rejected" false
+    (Cut.is_rmt_cut inst (ns [ 1; 2 ]) Nodeset.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Brute force cross-check                                             *)
+(* ------------------------------------------------------------------ *)
+
+let brute_exists (inst : Instance.t) is_cut =
+  let g = inst.graph in
+  let candidates =
+    Nodeset.remove inst.dealer
+      (Nodeset.remove inst.receiver (Graph.nodes g))
+  in
+  let found = ref false in
+  Nodeset.subsets_iter candidates (fun c ->
+      if not !found then
+        List.iter
+          (fun m ->
+            if not !found then begin
+              let c1 = Nodeset.inter c m in
+              let c2 = Nodeset.diff c m in
+              if is_cut inst c1 c2 then found := true
+            end)
+          (Structure.maximal_sets inst.structure));
+  !found
+
+let qcheck_brute =
+  [
+    QCheck.Test.make ~count:70 ~name:"RMT-cut decider = brute force"
+      arb_instance (fun inst ->
+        let v = Cut.find_rmt_cut inst in
+        v.complete
+        && Cut.exists_certainly v = brute_exists inst Cut.is_rmt_cut);
+    QCheck.Test.make ~count:70 ~name:"Z-pp decider = brute force"
+      arb_ad_hoc_instance (fun inst ->
+        let v = Cut.find_rmt_zpp_cut inst in
+        v.complete
+        && Cut.exists_certainly v = brute_exists inst Cut.is_rmt_zpp_cut);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Theory cross-checks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_theory =
+  [
+    (* Both notions characterize the same solvable class in the ad hoc
+       model (Thms 3+5 vs 7+8), so they must coincide there. *)
+    QCheck.Test.make ~count:40 ~name:"ad hoc: RMT-cut ⇔ RMT Z-pp cut"
+      arb_ad_hoc_instance (fun inst ->
+        Cut.exists_certainly (Cut.find_rmt_cut inst)
+        = Cut.exists_certainly (Cut.find_rmt_zpp_cut inst));
+    (* Full knowledge collapses the RMT-cut to the classic "two admissible
+       sets jointly cut" condition (Kumar et al. / PPA). *)
+    QCheck.Test.make ~count:40 ~name:"full knowledge: RMT-cut ⇔ ¬PPA-solvable"
+      arb_instance (fun inst ->
+        let full = Instance.with_view inst (View.full inst.graph) in
+        Cut.exists_certainly (Cut.find_rmt_cut full)
+        = not
+            (Rmt_protocols.Ppa.solvable full.graph ~structure:full.structure
+               ~dealer:full.dealer ~receiver:full.receiver));
+    (* More knowledge never hurts: solvable at radius k ⇒ solvable at k+1. *)
+    QCheck.Test.make ~count:25 ~name:"solvability monotone in radius"
+      arb_instance (fun inst ->
+        let diam =
+          Option.value (Connectivity.diameter inst.graph) ~default:2
+        in
+        let solvable_at k =
+          Cut.absent_certainly
+            (Cut.find_rmt_cut
+               (Instance.with_view inst (View.radius k inst.graph)))
+        in
+        let rec monotone k prev =
+          if k > diam then true
+          else
+            let cur = solvable_at k in
+            if prev && not cur then false else monotone (k + 1) cur
+        in
+        monotone 1 (solvable_at 0));
+  ]
+
+let test_budget_reported () =
+  (* a large solvable instance with a tiny budget: no cut will be found in
+     three visited subsets, and incompleteness must be reported *)
+  let g = Generators.layered ~width:4 ~depth:4 in
+  let inst = ad_hoc_instance g ~t:1 ~dealer:0 ~receiver:17 in
+  let v = Cut.find_rmt_cut ~budget:3 inst in
+  check "no witness" false (Cut.exists_certainly v);
+  check "reported incomplete" false v.complete;
+  check "not absent-certain" false (Cut.absent_certainly v)
+
+let () =
+  Alcotest.run "cut"
+    [
+      ( "known-instances",
+        [
+          Alcotest.test_case "path has cut" `Quick test_path_has_cut;
+          Alcotest.test_case "complete none" `Quick test_complete_no_cut;
+          Alcotest.test_case "layered 2x2 cut" `Quick test_layered_2x2_cut;
+          Alcotest.test_case "layered 3x2 none" `Quick test_layered_3x2_no_cut;
+          Alcotest.test_case "adjacent receiver" `Quick
+            test_receiver_adjacent_dealer;
+          Alcotest.test_case "asymmetric structure" `Quick
+            test_asymmetric_structure;
+          Alcotest.test_case "is_rmt_cut direct" `Quick test_is_rmt_cut_direct;
+          Alcotest.test_case "budget reported" `Quick test_budget_reported;
+        ] );
+      ("brute-force", List.map QCheck_alcotest.to_alcotest qcheck_brute);
+      ("theory", List.map QCheck_alcotest.to_alcotest qcheck_theory);
+    ]

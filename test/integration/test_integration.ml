@@ -1,0 +1,194 @@
+(* End-to-end integration: the feasibility deciders, the protocols, the
+   attack constructions and the workload generators must tell one
+   consistent story on a shared random suite.  This is the test-suite
+   version of experiments E3/E4/E5. *)
+
+open Rmt_base
+open Rmt_knowledge
+open Rmt_core
+open Rmt_workloads
+
+let check = Alcotest.(check bool)
+
+let suite =
+  (* one fixed, deterministic suite shared by all integration tests *)
+  Workload.tightness_suite (Prng.create 20160725) ~count:10 ~n:8
+
+let ad_hoc_suite = Workload.ad_hoc_suite (Prng.create 425) ~count:8 ~n:8
+
+let test_tightness_partial_knowledge () =
+  List.iter
+    (fun { Workload.label; instance } ->
+      match Solvability.partial_knowledge instance with
+      | Solvability.Solvable ->
+        let probe = Solvability.probe_rmt_pka instance ~x_dealer:1 ~x_fake:2 in
+        check
+          (label ^ ": solvable => RMT-PKA resilient")
+          true
+          (Solvability.all_correct probe)
+      | Solvability.Unsolvable ->
+        (match (Cut.find_rmt_cut instance).cut_found with
+         | None -> Alcotest.fail "unsolvable without witness"
+         | Some w ->
+           let v = Attack.against_rmt_pka instance w ~x0:0 ~x1:1 in
+           check
+             (label ^ ": cut => attack silences RMT-PKA")
+             true
+             (v.decision_e = None && v.decision_e' = None))
+      | Solvability.Unknown ->
+        Alcotest.fail (label ^ ": budget exhausted on a small instance"))
+    suite
+
+let test_tightness_ad_hoc () =
+  List.iter
+    (fun { Workload.label; instance } ->
+      match Solvability.ad_hoc instance with
+      | Solvability.Solvable ->
+        let rng = Prng.create 99 in
+        let probe = Solvability.probe_zcpa rng instance ~x_dealer:1 ~x_fake:2 in
+        check
+          (label ^ ": solvable => Z-CPA resilient")
+          true
+          (Solvability.all_correct probe)
+      | Solvability.Unsolvable ->
+        (match (Cut.find_rmt_zpp_cut instance).cut_found with
+         | None -> Alcotest.fail "unsolvable without witness"
+         | Some w ->
+           let v = Attack.against_zcpa instance w ~x0:0 ~x1:1 in
+           check
+             (label ^ ": cut => attack silences Z-CPA")
+             true
+             (v.decision_e = None && v.decision_e' = None))
+      | Solvability.Unknown ->
+        Alcotest.fail (label ^ ": budget exhausted on a small instance"))
+    ad_hoc_suite
+
+let test_hierarchy_on_suite () =
+  (* the solvable classes are nested: Z-CPA-solvable (using only ad hoc
+     knowledge) implies RMT-PKA-solvable at the instance's knowledge *)
+  List.iter
+    (fun { Workload.label; instance } ->
+      let z = Zcpa.run instance ~x_dealer:7 in
+      let p = Rmt_pka.run instance ~x_dealer:7 in
+      if z.decided = Some 7 then
+        check (label ^ ": hierarchy") true (p.decided = Some 7))
+    suite
+
+let test_full_knowledge_matches_ppa () =
+  List.iter
+    (fun { Workload.label; instance } ->
+      let full = Instance.with_view instance (View.full instance.graph) in
+      let feasible = Solvability.partial_knowledge full = Solvability.Solvable in
+      let ppa_ok =
+        Rmt_protocols.Ppa.solvable full.graph ~structure:full.structure
+          ~dealer:full.dealer ~receiver:full.receiver
+      in
+      check (label ^ ": full-knowledge collapse") true (feasible = ppa_ok);
+      if feasible then begin
+        let r =
+          Rmt_protocols.Ppa.run full.graph ~structure:full.structure
+            ~dealer:full.dealer ~receiver:full.receiver ~x_dealer:3
+        in
+        check (label ^ ": PPA delivers") true (r.decided = Some 3)
+      end)
+    suite
+
+let test_self_reduction_on_suite () =
+  List.iter
+    (fun { Workload.label; instance } ->
+      let direct = Zcpa.run instance ~x_dealer:4 in
+      let sim =
+        Zcpa.run ~decider:(Self_reduction.simulated_decider instance) instance
+          ~x_dealer:4
+      in
+      check (label ^ ": reduction agrees") true (direct.decided = sim.decided))
+    ad_hoc_suite
+
+(* the curated instance files load and have the feasibility their README
+   documents *)
+let test_curated_instances () =
+  (* the test binary runs somewhere under _build; walk up to the source
+     tree's instances/ directory *)
+  let dir =
+    let rec find base depth =
+      let candidate = Filename.concat base "instances" in
+      if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+      else if depth = 0 then Alcotest.fail "instances/ directory not found"
+      else find (Filename.concat base Filename.parent_dir_name) (depth - 1)
+    in
+    find (Sys.getcwd ()) 8
+  in
+  let load name =
+    match Codec.of_file (Filename.concat dir name) with
+    | Ok inst -> inst
+    | Error m -> Alcotest.fail (name ^ ": " ^ m)
+  in
+  let feas inst = Solvability.partial_knowledge inst in
+  check "path4 unsolvable" true
+    (feas (load "path4_unsolvable.rmt") = Solvability.Unsolvable);
+  check "onion solvable" true
+    (feas (load "onion_solvable.rmt") = Solvability.Solvable);
+  let mesh = load "mesh_showcase.rmt" in
+  check "mesh solvable at radius 2" true (feas mesh = Solvability.Solvable);
+  check "mesh unsolvable ad hoc" true
+    (feas (Instance.with_view mesh (View.ad_hoc mesh.graph))
+     = Solvability.Unsolvable);
+  let basic = load "figure1_basic.rmt" in
+  check "figure-1 instance solvable" true (feas basic = Solvability.Solvable);
+  check "and its protocol delivers" true
+    ((Zcpa.run basic ~x_dealer:9).decided = Some 9)
+
+(* CLI smoke tests: the installed binary handles the documented
+   subcommands without error *)
+let test_cli_smoke () =
+  let exe =
+    (* depending on how the test is invoked, cwd is the project root or a
+       directory inside _build: try both layouts at every level *)
+    let rec find base depth =
+      let candidates =
+        [
+          Filename.concat base "bin/rmt_cli.exe";
+          Filename.concat base "_build/default/bin/rmt_cli.exe";
+        ]
+      in
+      match List.find_opt Sys.file_exists candidates with
+      | Some c -> c
+      | None ->
+        if depth = 0 then
+          Alcotest.fail ("rmt_cli.exe not found from " ^ Sys.getcwd ())
+        else find (Filename.concat base Filename.parent_dir_name) (depth - 1)
+    in
+    find (Sys.getcwd ()) 8
+  in
+  let run args =
+    Sys.command (Filename.quote exe ^ " " ^ args ^ " > /dev/null 2>&1")
+  in
+  Alcotest.(check int) "analyze" 0
+    (run "analyze --topology layered:3x2 --receiver 7");
+  Alcotest.(check int) "run pka" 0
+    (run "run --protocol pka --topology layered:3x2 --receiver 7 --corrupt 1           --strategy value-flip");
+  Alcotest.(check int) "run zcpa traced" 0
+    (run "run --protocol zcpa --topology complete:5 --trace");
+  Alcotest.(check int) "attack" 0 (run "attack --topology path:4");
+  Alcotest.(check int) "dot" 0 (run "dot --topology cycle:6");
+  Alcotest.(check int) "bad spec fails" 124
+    (let c = run "analyze --topology warp:9" in
+     if c <> 0 then 124 else 0)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "tightness partial knowledge" `Slow
+            test_tightness_partial_knowledge;
+          Alcotest.test_case "tightness ad hoc" `Slow test_tightness_ad_hoc;
+          Alcotest.test_case "uniqueness hierarchy" `Quick
+            test_hierarchy_on_suite;
+          Alcotest.test_case "full knowledge = PPA" `Quick
+            test_full_knowledge_matches_ppa;
+          Alcotest.test_case "self-reduction" `Slow test_self_reduction_on_suite;
+          Alcotest.test_case "curated instances" `Quick test_curated_instances;
+          Alcotest.test_case "cli smoke" `Quick test_cli_smoke;
+        ] );
+    ]

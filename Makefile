@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench outputs examples clean
+.PHONY: all build test bench bench-json outputs examples clean
 
 all: build
 
@@ -12,6 +12,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Regenerate the checked-in kernel benchmark record (BENCH_core.json).
+bench-json:
+	dune exec bench/main.exe -- core --json
 
 examples:
 	dune exec examples/quickstart.exe

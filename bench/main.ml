@@ -14,9 +14,13 @@
      E7  self-reduction: simulated membership    (Thm 9, Cor 10, Fig 1)
      E8  minimal knowledge frontier              (§3.1 remark)
 
-   plus a Bechamel micro-benchmark per experiment's core operation.
+   plus a Bechamel micro-benchmark per experiment's core operation and a
+   `core` engine benchmark (packed antichain kernels vs the list baseline,
+   multicore sweep scaling) whose numbers `--json` records in
+   BENCH_core.json.
 
-   Usage: main.exe [e1|e2|e2b|e3|e4|e5|e6|e7|e8|bechamel|all]* *)
+   Usage: main.exe [e1|e2|e2b|e3|e4|e5|e6|e7|e8|core|bechamel|all]*
+                   [--json] [--domains=N] *)
 
 open Rmt_base
 open Rmt_graph
@@ -24,6 +28,15 @@ open Rmt_adversary
 open Rmt_knowledge
 open Rmt_core
 open Rmt_workloads
+
+(* global flags, set by the driver before experiments run *)
+let json_mode = ref false
+let domains_override = ref None
+
+let sweep_domains () =
+  match !domains_override with
+  | Some d -> d
+  | None -> Parsweep.recommended_domains ()
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -262,39 +275,22 @@ let e2b () =
 (* E3 / E4 — tightness sweeps                                          *)
 (* ------------------------------------------------------------------ *)
 
-let tightness_rows ~suite ~solvable ~resilient ~silenced =
+(* Per-instance classification runs on all cores (Parsweep); the classify
+   function must be pure, so any randomness is pre-split per instance
+   before the sweep.  Aggregation of the (in solvable class?, behavior
+   matches?) pairs stays sequential. *)
+let tightness_rows results =
   let classes = [ ("solvable", true); ("unsolvable", false) ] in
   List.map
     (fun (cname, want_solvable) ->
       let in_class =
-        List.filter (fun li -> solvable li = want_solvable) suite
+        List.filter (fun (s, _) -> s = want_solvable) (Array.to_list results)
       in
-      let agree =
-        List.length
-          (List.filter
-             (fun li -> if want_solvable then resilient li else silenced li)
-             in_class)
-      in
+      let agree = List.length (List.filter snd in_class) in
       (cname, List.length in_class, agree))
     classes
 
-let e3 () =
-  section "E3 — tightness of the RMT-cut for RMT-PKA (Thm 3 + Thm 5)";
-  let suite = Workload.tightness_suite (Prng.create 303) ~count:120 ~n:9 in
-  let rows =
-    tightness_rows ~suite
-      ~solvable:(fun { Workload.instance; _ } ->
-        Solvability.partial_knowledge instance = Solvability.Solvable)
-      ~resilient:(fun { Workload.instance; _ } ->
-        Solvability.all_correct
-          (Solvability.probe_rmt_pka instance ~x_dealer:1 ~x_fake:2))
-      ~silenced:(fun { Workload.instance; _ } ->
-        match (Cut.find_rmt_cut instance).cut_found with
-        | None -> false
-        | Some w ->
-          let v = Attack.against_rmt_pka instance w ~x0:0 ~x1:1 in
-          v.decision_e = None && v.decision_e' = None)
-  in
+let print_tightness ~title rows =
   let t = Table.create [ "class"; "instances"; "behavior matches"; "agreement" ] in
   List.iter
     (fun (cname, total, agree) ->
@@ -305,41 +301,64 @@ let e3 () =
            else Table.cell_pct (float_of_int agree /. float_of_int total));
         ])
     rows;
-  Table.print
+  Table.print ~title t
+
+let e3_classify { Workload.instance; _ } =
+  let solvable =
+    Solvability.partial_knowledge instance = Solvability.Solvable
+  in
+  let agree =
+    if solvable then
+      Solvability.all_correct
+        (Solvability.probe_rmt_pka instance ~x_dealer:1 ~x_fake:2)
+    else
+      match (Cut.find_rmt_cut instance).cut_found with
+      | None -> false
+      | Some w ->
+        let v = Attack.against_rmt_pka instance w ~x0:0 ~x1:1 in
+        v.decision_e = None && v.decision_e' = None
+  in
+  (solvable, agree)
+
+let e3 () =
+  section "E3 — tightness of the RMT-cut for RMT-PKA (Thm 3 + Thm 5)";
+  let suite = Workload.tightness_suite (Prng.create 303) ~count:120 ~n:9 in
+  let results =
+    Parsweep.map ~domains:(sweep_domains ()) e3_classify (Array.of_list suite)
+  in
+  print_tightness
     ~title:
       "paper claim: 100% agreement — no RMT-cut ⇔ RMT-PKA withstands every \
        adversary; RMT-cut ⇒ the two-face attack silences it"
-    t
+    (tightness_rows results)
 
 let e4 () =
   section "E4 — tightness of the RMT Z-pp cut for 𝒵-CPA (Thm 7 + Thm 8)";
   let suite = Workload.ad_hoc_suite (Prng.create 404) ~count:120 ~n:10 in
   let rng = Prng.create 405 in
-  let rows =
-    tightness_rows ~suite
-      ~solvable:(fun { Workload.instance; _ } ->
-        Solvability.ad_hoc instance = Solvability.Solvable)
-      ~resilient:(fun { Workload.instance; _ } ->
+  (* split one stream per instance, sequentially, so the parallel map sees
+     independent deterministic streams whatever the domain interleaving *)
+  let jobs =
+    Array.of_list (List.map (fun li -> (li, Prng.split rng)) suite)
+  in
+  let classify ({ Workload.instance; _ }, rng) =
+    let solvable = Solvability.ad_hoc instance = Solvability.Solvable in
+    let agree =
+      if solvable then
         Solvability.all_correct
-          (Solvability.probe_zcpa rng instance ~x_dealer:1 ~x_fake:2))
-      ~silenced:(fun { Workload.instance; _ } ->
+          (Solvability.probe_zcpa rng instance ~x_dealer:1 ~x_fake:2)
+      else
         match (Cut.find_rmt_zpp_cut instance).cut_found with
         | None -> false
         | Some w ->
           let v = Attack.against_zcpa instance w ~x0:0 ~x1:1 in
-          v.decision_e = None && v.decision_e' = None)
+          v.decision_e = None && v.decision_e' = None
+    in
+    (solvable, agree)
   in
-  let t = Table.create [ "class"; "instances"; "behavior matches"; "agreement" ] in
-  List.iter
-    (fun (cname, total, agree) ->
-      Table.add_row t
-        [
-          cname; Table.cell_int total; Table.cell_int agree;
-          (if total = 0 then "n/a"
-           else Table.cell_pct (float_of_int agree /. float_of_int total));
-        ])
-    rows;
-  Table.print ~title:"paper claim: 100% agreement in both classes" t
+  let results = Parsweep.map ~domains:(sweep_domains ()) classify jobs in
+  print_tightness ~title:"paper claim: 100% agreement in both classes"
+    (tightness_rows results)
 
 (* ------------------------------------------------------------------ *)
 (* E5 — knowledge ladder and uniqueness hierarchy                      *)
@@ -363,13 +382,17 @@ let e5 () =
     Table.create
       [ "knowledge"; "solvable"; "RMT-PKA resilient"; "Z-CPA resilient" ]
   in
-  let count f = List.length (List.filter f structures) in
+  let structures_arr = Array.of_list structures in
+  let par_count f =
+    let hits = Parsweep.map ~domains:(sweep_domains ()) f structures_arr in
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 hits
+  in
   (* resilience = correct under the honest run and every (maximal
      corruption set × strategy) combination; Z-CPA uses only ad hoc
      knowledge regardless of the instance's views, so its column is
      constant and shown once against radius-1 *)
   let zcpa_count =
-    count (fun structure ->
+    par_count (fun structure ->
         let inst = Instance.ad_hoc_of ~graph:g ~structure ~dealer:0 ~receiver in
         Solvability.all_correct
           (Solvability.probe_zcpa (Prng.create 50) inst ~x_dealer:1 ~x_fake:2))
@@ -377,20 +400,24 @@ let e5 () =
   List.iter
     (fun k ->
       let view = View.radius k g in
-      let solvable =
-        count (fun structure ->
+      let classified =
+        Parsweep.map ~domains:(sweep_domains ())
+          (fun structure ->
             let inst =
               Instance.make ~graph:g ~structure ~view ~dealer:0 ~receiver
             in
-            Solvability.partial_knowledge inst = Solvability.Solvable)
+            ( Solvability.partial_knowledge inst = Solvability.Solvable,
+              Solvability.all_correct
+                (Solvability.probe_rmt_pka inst ~x_dealer:1 ~x_fake:2) ))
+          structures_arr
+      in
+      let solvable =
+        Array.fold_left (fun acc (s, _) -> if s then acc + 1 else acc) 0
+          classified
       in
       let pka =
-        count (fun structure ->
-            let inst =
-              Instance.make ~graph:g ~structure ~view ~dealer:0 ~receiver
-            in
-            Solvability.all_correct
-              (Solvability.probe_rmt_pka inst ~x_dealer:1 ~x_fake:2))
+        Array.fold_left (fun acc (_, p) -> if p then acc + 1 else acc) 0
+          classified
       in
       Table.add_row t
         [
@@ -805,6 +832,45 @@ let ablations () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Shared Bechamel runner: OLS fit per test, (name, ns/run, r²) rows. *)
+let run_bechamel ?(quota = 0.5) tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"rmt" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+      in
+      (name, ns, r2) :: acc)
+    results []
+  |> List.sort compare
+
+let pretty_ns x =
+  if x > 1e9 then Printf.sprintf "%.2f s" (x /. 1e9)
+  else if x > 1e6 then Printf.sprintf "%.2f ms" (x /. 1e6)
+  else if x > 1e3 then Printf.sprintf "%.2f µs" (x /. 1e3)
+  else Printf.sprintf "%.0f ns" x
+
+let print_bechamel_rows rows =
+  let t = Table.create [ "benchmark"; "time/run"; "r²" ] in
+  List.iter
+    (fun (name, ns, r2) ->
+      Table.add_row t [ name; pretty_ns ns; Printf.sprintf "%.3f" r2 ])
+    rows;
+  Table.print t
+
 let bechamel () =
   section "Micro-benchmarks (Bechamel, one per experiment)";
   let open Bechamel in
@@ -863,40 +929,254 @@ let bechamel () =
                ~structure:grid_inst.Instance.structure ~dealer:0 ~receiver:8 ()));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw =
-    Benchmark.all cfg
-      [ Toolkit.Instance.monotonic_clock ]
-      (Test.make_grouped ~name:"rmt" tests)
+  print_bechamel_rows (run_bechamel tests)
+
+(* ------------------------------------------------------------------ *)
+(* Core engine benchmark: packed antichain kernels vs the list baseline *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-overhaul list representation of antichains, kept verbatim as
+   the measurement baseline: un-prefiltered O(k²) reduce, linear-scan mem,
+   materialize-then-reduce join. *)
+module List_antichain = struct
+  let reduce sets =
+    let sorted = List.sort_uniq Nodeset.compare sets in
+    List.filter
+      (fun z ->
+        not
+          (List.exists
+             (fun z' -> (not (Nodeset.equal z z')) && Nodeset.subset z z')
+             sorted))
+      sorted
+
+  let mem z maximal = List.exists (fun m -> Nodeset.subset z m) maximal
+
+  let join (a, max_e) (b, max_f) =
+    let candidates =
+      List.concat_map
+        (fun m1 ->
+          List.map
+            (fun m2 ->
+              Nodeset.union
+                (Nodeset.union (Nodeset.diff m1 b) (Nodeset.diff m2 a))
+                (Nodeset.inter m1 m2))
+            max_f)
+        max_e
+    in
+    reduce candidates
+end
+
+(* Antichain of [sets] distinct fixed-size subsets: no set dominates
+   another, so the antichain size equals the candidate count. *)
+let fixed_size_antichain rng ~universe ~sets ~set_size =
+  let ground = Nodeset.range 0 universe in
+  let rec distinct acc n =
+    if n = 0 then acc
+    else
+      let z = Prng.sample rng ground set_size in
+      if List.exists (Nodeset.equal z) acc then distinct acc n
+      else distinct (z :: acc) (n - 1)
   in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  (ground, distinct [] sets)
+
+(* json fragments filled in by [core] and flushed by the driver *)
+let core_json_sections : string list ref = ref []
+
+let core () =
+  section "CORE — antichain engine micro-benchmarks (packed vs list) and \
+           multicore sweep scaling";
+  let open Bechamel in
+  let rng = Prng.create 4242 in
+  let sizes = [ 16; 64; 128 ] in
+  let inputs =
+    List.map
+      (fun k ->
+        let ground, sets =
+          fixed_size_antichain rng ~universe:24 ~sets:k ~set_size:8
+        in
+        (* reduce workload: the antichain plus one random proper subset of
+           each set — half the candidates are dominated and must go *)
+        let dominated =
+          List.map (fun z -> Prng.sample rng z (Nodeset.size z - 2)) sets
+        in
+        (* mem workload: half certain members (subsets of maximal sets),
+           half random probes that are almost surely non-members *)
+        let queries =
+          Array.init 64 (fun i ->
+              if i mod 2 = 0 then
+                Prng.sample rng (List.nth sets (i mod k)) 5
+              else Prng.sample rng ground 8)
+        in
+        (k, ground, sets, sets @ dominated, queries))
+      sizes
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let t = Table.create [ "benchmark"; "time/run"; "r²" ] in
-  let rows =
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-    |> List.sort compare
+  let packed =
+    List.map
+      (fun (k, ground, sets, _, _) ->
+        (k, Structure.of_sets ~ground sets))
+      inputs
   in
+  let tests =
+    List.concat_map
+      (fun (k, ground, sets, reduce_input, queries) ->
+        let s = List.assoc k packed in
+        [
+          Test.make
+            ~name:(Printf.sprintf "reduce/list/%d" k)
+            (Staged.stage (fun () -> List_antichain.reduce reduce_input));
+          Test.make
+            ~name:(Printf.sprintf "reduce/packed/%d" k)
+            (Staged.stage (fun () -> Structure.reduce reduce_input));
+          Test.make
+            ~name:(Printf.sprintf "mem/list/%d" k)
+            (Staged.stage (fun () ->
+                 Array.iter
+                   (fun z -> ignore (List_antichain.mem z sets))
+                   queries));
+          Test.make
+            ~name:(Printf.sprintf "mem/packed/%d" k)
+            (Staged.stage (fun () ->
+                 Array.iter (fun z -> ignore (Structure.mem z s)) queries));
+          Test.make
+            ~name:(Printf.sprintf "join/list/%d" k)
+            (Staged.stage (fun () ->
+                 List_antichain.join (ground, sets) (ground, sets)));
+          Test.make
+            ~name:(Printf.sprintf "join/packed/%d" k)
+            (Staged.stage (fun () -> Joint.join s s));
+        ])
+      inputs
+  in
+  let decider_tests =
+    let grid_inst =
+      let g = Generators.grid 3 4 in
+      Instance.make ~graph:g
+        ~structure:
+          (Builders.random_antichain (Prng.create 11) g ~dealer:0 ~sets:6
+             ~max_size:3)
+        ~view:(View.radius 2 g) ~dealer:0 ~receiver:11
+    in
+    let layered =
+      let g = Generators.layered ~width:3 ~depth:3 in
+      Instance.ad_hoc_of ~graph:g
+        ~structure:(Builders.global_threshold g ~dealer:0 1)
+        ~dealer:0 ~receiver:10
+    in
+    [
+      Test.make ~name:"cut/rmt"
+        (Staged.stage (fun () -> Cut.find_rmt_cut grid_inst));
+      Test.make ~name:"cut/rmt-naive"
+        (Staged.stage (fun () -> Cut.find_rmt_cut_naive grid_inst));
+      Test.make ~name:"cut/zpp"
+        (Staged.stage (fun () -> Cut.find_rmt_zpp_cut layered));
+    ]
+  in
+  let rows = run_bechamel (tests @ decider_tests) in
+  print_bechamel_rows rows;
+  (* packed-vs-list speedups per (operation, antichain size) *)
+  let ns_of name =
+    match List.find_opt (fun (n, _, _) -> n = "rmt/" ^ name) rows with
+    | Some (_, ns, _) -> ns
+    | None -> nan
+  in
+  let speedups =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun op ->
+            let list_ns = ns_of (Printf.sprintf "%s/list/%d" op k) in
+            let packed_ns = ns_of (Printf.sprintf "%s/packed/%d" op k) in
+            (op, k, list_ns, packed_ns, list_ns /. packed_ns))
+          [ "reduce"; "mem"; "join" ])
+      sizes
+  in
+  let t = Table.create [ "operation"; "antichain"; "list"; "packed"; "speedup" ] in
   List.iter
-    (fun (name, ols) ->
-      let time =
-        match Analyze.OLS.estimates ols with
-        | Some (x :: _) ->
-          if x > 1e9 then Printf.sprintf "%.2f s" (x /. 1e9)
-          else if x > 1e6 then Printf.sprintf "%.2f ms" (x /. 1e6)
-          else if x > 1e3 then Printf.sprintf "%.2f µs" (x /. 1e3)
-          else Printf.sprintf "%.0f ns" x
-        | _ -> "?"
-      in
-      let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.3f" r
-        | None -> "?"
-      in
-      Table.add_row t [ name; time; r2 ])
-    rows;
-  Table.print t
+    (fun (op, k, list_ns, packed_ns, s) ->
+      Table.add_row t
+        [
+          op; Table.cell_int k; pretty_ns list_ns; pretty_ns packed_ns;
+          Printf.sprintf "%.1fx" s;
+        ])
+    speedups;
+  Table.print ~title:"packed antichain kernels vs the list baseline" t;
+  (* multicore sweep scaling on the E3 classification workload *)
+  let suite =
+    Array.of_list (Workload.tightness_suite (Prng.create 303) ~count:60 ~n:9)
+  in
+  let runs =
+    let wanted = [ 1; 2; 4 ] in
+    let rec uniq = function
+      | [] -> []
+      | d :: rest -> d :: uniq (List.filter (( <> ) d) rest)
+    in
+    uniq (wanted @ [ Parsweep.recommended_domains () ])
+  in
+  let timings =
+    List.map
+      (fun d ->
+        let results, secs = Parsweep.time_with_domains ~domains:d e3_classify suite in
+        (d, secs, results))
+      runs
+  in
+  let _, _, reference = List.hd timings in
+  let deterministic =
+    List.for_all (fun (_, _, r) -> r = reference) timings
+  in
+  let t = Table.create [ "domains"; "wall-clock"; "speedup vs 1" ] in
+  let base = match timings with (_, s, _) :: _ -> s | [] -> nan in
+  List.iter
+    (fun (d, secs, _) ->
+      Table.add_row t
+        [
+          Table.cell_int d;
+          Printf.sprintf "%.2f s" secs;
+          Printf.sprintf "%.2fx" (base /. secs);
+        ])
+    timings;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E3 sweep (60 instances) under the multicore driver — results \
+          %s across domain counts; %d core(s) available"
+         (if deterministic then "bit-for-bit identical" else "DIVERGED (bug!)")
+         (Parsweep.recommended_domains ()))
+    t;
+  (* machine-readable record *)
+  let micro_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (name, ns, r2) ->
+           Printf.sprintf "{\"name\": %S, \"ns_per_run\": %.1f, \"r2\": %.4f}"
+             name ns r2)
+         rows)
+  in
+  let speedup_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (op, k, list_ns, packed_ns, s) ->
+           Printf.sprintf
+             "{\"op\": %S, \"antichain\": %d, \"list_ns\": %.1f, \
+              \"packed_ns\": %.1f, \"speedup\": %.2f}"
+             op k list_ns packed_ns s)
+         speedups)
+  in
+  let sweep_json =
+    Printf.sprintf
+      "{\"instances\": %d, \"deterministic\": %b, \"runs\": [%s]}"
+      (Array.length suite) deterministic
+      (String.concat ", "
+         (List.map
+            (fun (d, secs, _) ->
+              Printf.sprintf "{\"domains\": %d, \"seconds\": %.3f}" d secs)
+            timings))
+  in
+  core_json_sections :=
+    [
+      Printf.sprintf "\"micro\": [\n    %s\n  ]" micro_json;
+      Printf.sprintf "\"kernel_speedups\": [\n    %s\n  ]" speedup_json;
+      Printf.sprintf "\"sweep\": %s" sweep_json;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -907,14 +1187,46 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e2b", e2b); ("e3", e3); ("e4", e4);
     ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("ablations", ablations); ("bechamel", bechamel);
+    ("core", core);
   ]
 
+let write_core_json () =
+  let path = "BENCH_core.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"rmt-bench-core/1\",\n  \"domains_available\": %d,\n  %s\n}\n"
+    (Parsweep.recommended_domains ())
+    (String.concat ",\n  " !core_json_sections);
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
 let () =
-  let args =
+  let flags, names =
     match Array.to_list Sys.argv with
-    | _ :: [] | _ :: "all" :: _ -> List.map fst experiments
-    | _ :: rest -> rest
-    | [] -> []
+    | [] -> ([], [])
+    | _ :: rest ->
+      List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") rest
+  in
+  List.iter
+    (fun flag ->
+      match flag with
+      | "--json" -> json_mode := true
+      | _ when String.length flag > 10 && String.sub flag 0 10 = "--domains=" ->
+        (match
+           int_of_string_opt (String.sub flag 10 (String.length flag - 10))
+         with
+         | Some d when d >= 1 -> domains_override := Some d
+         | _ ->
+           Printf.eprintf "invalid %S (expected --domains=N, N >= 1)\n" flag;
+           exit 1)
+      | _ ->
+        Printf.eprintf "unknown flag %S (known: --json, --domains=N)\n" flag;
+        exit 1)
+    flags;
+  let names =
+    match names with
+    | [] | "all" :: _ -> List.map fst experiments
+    | rest -> rest
   in
   List.iter
     (fun name ->
@@ -926,4 +1238,5 @@ let () =
         Printf.eprintf "unknown experiment %S (known: %s)\n" name
           (String.concat ", " (List.map fst experiments));
         exit 1)
-    args
+    names;
+  if !json_mode && !core_json_sections <> [] then write_core_json ()

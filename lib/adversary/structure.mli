@@ -12,7 +12,14 @@
     of the value.
 
     Values are canonical: two structures are [equal] iff they have the same
-    ground set and the same family of sets. *)
+    ground set and the same family of sets.
+
+    Internally the antichain is {e packed}: maximal sets are stored in an
+    array sorted by (cardinality, [Nodeset.compare]) with cached per-set
+    popcounts and one-word signatures.  [mem] prefilters subset tests by
+    size and signature, and the antichain reduction only compares a set
+    against strictly larger ones (size-bucket pruning), so both are far
+    below the naive O(k²) full-subset-check regime on large antichains. *)
 
 open Rmt_base
 open Rmt_graph
@@ -47,6 +54,35 @@ val of_predicate : ground:Nodeset.t -> (Nodeset.t -> bool) -> t
 
 val add_set : Nodeset.t -> t -> t
 (** Adds one admissible set (and implicitly its subsets). *)
+
+val reduce : Nodeset.t list -> Nodeset.t list
+(** Antichain reduction: keeps only the maximal sets, deduplicated, in
+    canonical (size, then [Nodeset.compare]) order.  The kernel under
+    every constructor, exposed for candidate pipelines and tests. *)
+
+(** Incremental antichain accumulation.  A mutable working antichain that
+    maintains maximality on every insert, so candidate generators (the ⊕
+    join in particular) can skip a candidate the moment it is covered by
+    an earlier one instead of materializing all candidates and reducing
+    quadratically at the end. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+
+  val covered : b -> Nodeset.t -> bool
+  (** Is the set dominated by (or equal to) a set already accumulated? *)
+
+  val add : b -> Nodeset.t -> unit
+  (** Insert, dropping the set if covered and evicting any accumulated
+      sets it dominates. *)
+
+  val cardinal : b -> int
+
+  val to_structure : ground:Nodeset.t -> b -> t
+  (** Package the accumulated antichain.
+      @raise Invalid_argument if some set is not within [ground]. *)
+end
 
 (** {1 Queries} *)
 

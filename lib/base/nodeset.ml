@@ -28,12 +28,15 @@ let mem v (s : t) =
 
 let add v (s : t) =
   check_nonneg v;
-  let w = word_of v in
-  let len = max (Array.length s) (w + 1) in
-  let out = Array.make len 0 in
-  Array.blit s 0 out 0 (Array.length s);
-  out.(w) <- out.(w) lor (1 lsl bit_of v);
-  out
+  if mem v s then s
+  else begin
+    let w = word_of v in
+    let len = max (Array.length s) (w + 1) in
+    let out = Array.make len 0 in
+    Array.blit s 0 out 0 (Array.length s);
+    out.(w) <- out.(w) lor (1 lsl bit_of v);
+    out
+  end
 
 let remove v (s : t) =
   if not (mem v s) then s
@@ -73,6 +76,8 @@ let popcount =
     (x * 0x0101010101010101) lsr 56
 
 let size (s : t) = Array.fold_left (fun acc w -> acc + popcount w) 0 s
+
+let signature (s : t) = Array.fold_left ( lor ) 0 s
 
 let subset (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in

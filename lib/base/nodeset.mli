@@ -25,8 +25,11 @@ val range : int -> int -> t
 (** [range lo hi] is [{lo, lo+1, ..., hi-1}]; empty whenever [lo >= hi]. *)
 
 val add : int -> t -> t
+(** Physical identity when [v] is already a member: [add v s == s], so
+    no-op additions on hot paths allocate nothing. *)
 
 val remove : int -> t -> t
+(** Physical identity when [v] is absent: [remove v s == s]. *)
 
 (** {1 Queries} *)
 
@@ -36,6 +39,13 @@ val mem : int -> t -> bool
 
 val size : t -> int
 (** Number of elements. *)
+
+val signature : t -> int
+(** One-word fingerprint: the OR-fold of the representation words.
+    [subset a b] implies [signature a land lnot (signature b) = 0], so a
+    failing signature test refutes subset inclusion without touching the
+    arrays; on universes below one word it is exact.  Used by the packed
+    antichain representation in [Rmt_adversary.Structure]. *)
 
 val subset : t -> t -> bool
 (** [subset a b] is [a ⊆ b]. *)

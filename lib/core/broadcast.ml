@@ -23,6 +23,7 @@ let find_zpp_cut ?budget (inst : Instance.t) =
   in
   let found = ref None in
   let complete = ref true in
+  let visited = ref 0 in
   let seeds =
     Nodeset.elements (Nodeset.diff (Graph.nodes g) forbidden_base)
   in
@@ -54,10 +55,11 @@ let find_zpp_cut ?budget (inst : Instance.t) =
                   else false)
                 maximal)
         in
+        visited := !visited + outcome.visited;
         if not outcome.complete then complete := false
       end)
     seeds;
-  Cut.{ cut_found = !found; complete = !complete }
+  Cut.{ cut_found = !found; complete = !complete; visited = !visited }
 
 let solvable ?budget inst =
   let v = find_zpp_cut ?budget inst in

@@ -13,6 +13,7 @@ type witness = {
 type verdict = {
   cut_found : witness option;
   complete : bool;
+  visited : int;
 }
 
 let exists_certainly v = v.cut_found <> None
@@ -29,7 +30,7 @@ let search ?budget (inst : Instance.t) ~condition =
   if Nodeset.mem r forbidden then
     (* R is the dealer's neighbor or the dealer itself: no cut can avoid
        the dealer and separate them *)
-    { cut_found = None; complete = true }
+    { cut_found = None; complete = true; visited = 0 }
   else begin
     let found = ref None in
     let maximal = Structure.maximal_sets inst.structure in
@@ -50,7 +51,8 @@ let search ?budget (inst : Instance.t) ~condition =
           in
           hit)
     in
-    { cut_found = !found; complete = outcome.complete }
+    { cut_found = !found; complete = outcome.complete;
+      visited = outcome.visited }
   end
 
 let zb_condition inst b c2 =
@@ -58,26 +60,42 @@ let zb_condition inst b c2 =
   let vgb = View.joint_nodes inst.view b in
   Structure.mem (Nodeset.inter c2 vgb) zb
 
-let local_condition inst b c2 =
-  Nodeset.for_all
-    (fun u ->
+let local_condition inst =
+  (* per-node local structures are reused across every enumerated
+     component: restrict once per node, memoized for the whole search *)
+  let tbl = Hashtbl.create 16 in
+  let local u =
+    match Hashtbl.find_opt tbl u with
+    | Some cached -> cached
+    | None ->
       let nu = Graph.neighbors u inst.Instance.graph in
-      Structure.mem (Nodeset.inter nu c2)
-        (Structure.restrict (Nodeset.add u nu) inst.structure))
-    b
+      let cached = (nu, Structure.restrict (Nodeset.add u nu) inst.structure) in
+      Hashtbl.add tbl u cached;
+      cached
+  in
+  fun b c2 ->
+    Nodeset.for_all
+      (fun u ->
+        let nu, zu = local u in
+        Structure.mem (Nodeset.inter nu c2) zu)
+      b
 
 (* Specialized driver for RMT-cuts: 𝒵_B and V(γ(B)) are maintained
    incrementally along the enumeration (⊕ is associative), which avoids
-   the O(|B|) joins per enumerated component of the naive version. *)
+   the O(|B|) joins per enumerated component of the naive version; the
+   per-node view restrictions feeding the ⊕ threading come from a memo
+   table, so each node is restricted once per search, not once per
+   branch of the enumeration tree. *)
 let find_rmt_cut ?budget (inst : Instance.t) =
   let g = inst.graph in
   let d = inst.dealer and r = inst.receiver in
   let forbidden = Graph.closed_neighborhood d g in
-  if Nodeset.mem r forbidden then { cut_found = None; complete = true }
+  if Nodeset.mem r forbidden then
+    { cut_found = None; complete = true; visited = 0 }
   else begin
     let found = ref None in
     let maximal = Structure.maximal_sets inst.structure in
-    let part v = Structure.restrict (View.view_nodes inst.view v) inst.structure in
+    let part = Joint.restriction_cache inst.view inst.structure in
     let init = (View.view_nodes inst.view r, part r) in
     let extend (vgb, zb) c =
       (Nodeset.union vgb (View.view_nodes inst.view c), Joint.join zb (part c))
@@ -97,7 +115,8 @@ let find_rmt_cut ?budget (inst : Instance.t) =
               else false)
             maximal)
     in
-    { cut_found = !found; complete = outcome.complete }
+    { cut_found = !found; complete = outcome.complete;
+      visited = outcome.visited }
   end
 
 let find_rmt_cut_naive ?budget inst =

@@ -33,6 +33,10 @@ type verdict = {
   complete : bool;
       (** [false]: the search budget was exhausted before the space was
           covered, so [cut_found = None] means "unknown" *)
+  visited : int;
+      (** number of connected components the enumeration actually
+          examined — on budget-capped sweeps this is how much of the
+          space was covered before the verdict *)
 }
 
 val exists_certainly : verdict -> bool
@@ -40,7 +44,11 @@ val exists_certainly : verdict -> bool
 val absent_certainly : verdict -> bool
 
 val find_rmt_cut : ?budget:int -> Instance.t -> verdict
-(** RMT-cut existence in the partial knowledge model (Definition 3). *)
+(** RMT-cut existence in the partial knowledge model (Definition 3).
+    [𝒵_B] and [V(γ(B))] are threaded incrementally through the
+    enumeration, and the per-node view restrictions feeding the [⊕]
+    threading are memoized for the whole search
+    ({!Joint.restriction_cache}). *)
 
 val find_rmt_cut_naive : ?budget:int -> Instance.t -> verdict
 (** Same verdict as {!find_rmt_cut} but recomputing [𝒵_B] and [V(γ(B))]

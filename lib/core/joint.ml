@@ -9,21 +9,29 @@ open Rmt_knowledge
      candidate(M1, M2) = (M1 ∖ B) ∪ (M2 ∖ A) ∪ (M1 ∩ M2).
    Any compatible pair's union is contained in the candidate of the
    maximal sets dominating it, and each candidate is itself realized by a
-   compatible pair, so the candidates generate exactly 𝓔 ⊕ 𝓕. *)
+   compatible pair, so the candidates generate exactly 𝓔 ⊕ 𝓕.
+
+   Candidates are funnelled through an incremental antichain
+   (Structure.Builder): a candidate already covered by an earlier one is
+   dropped on the spot, so the |𝓔|·|𝓕| product never materializes in full
+   before the reduction — on overlapping views most candidates collapse
+   early and the working set stays near the final antichain size. *)
 let join e f =
   let a = Structure.ground e and b = Structure.ground f in
-  let candidates =
-    List.concat_map
-      (fun m1 ->
-        List.map
-          (fun m2 ->
-            Nodeset.union
-              (Nodeset.union (Nodeset.diff m1 b) (Nodeset.diff m2 a))
-              (Nodeset.inter m1 m2))
-          (Structure.maximal_sets f))
-      (Structure.maximal_sets e)
-  in
-  Structure.of_sets ~ground:(Nodeset.union a b) candidates
+  let maximal_f = Structure.maximal_sets f in
+  let builder = Structure.Builder.create () in
+  List.iter
+    (fun m1 ->
+      let m1_private = Nodeset.diff m1 b in
+      List.iter
+        (fun m2 ->
+          Structure.Builder.add builder
+            (Nodeset.union
+               (Nodeset.union m1_private (Nodeset.diff m2 a))
+               (Nodeset.inter m1 m2)))
+        maximal_f)
+    (Structure.maximal_sets e);
+  Structure.Builder.to_structure ~ground:(Nodeset.union a b) builder
 
 let identity = Structure.trivial ~ground:Nodeset.empty
 
@@ -31,10 +39,18 @@ let join_list = function
   | [] -> identity
   | s :: rest -> List.fold_left join s rest
 
+let restriction_cache view z =
+  let tbl = Hashtbl.create 16 in
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some s -> s
+    | None ->
+      let s = Structure.restrict (View.view_nodes view v) z in
+      Hashtbl.add tbl v s;
+      s
+
 let joint_structure view z b =
-  join_list
-    (Nodeset.fold
-       (fun v acc -> Structure.restrict (View.view_nodes view v) z :: acc)
-       b [])
+  let part = restriction_cache view z in
+  join_list (Nodeset.fold (fun v acc -> part v :: acc) b [])
 
 let mem_joint z parts = Structure.mem z (join_list parts)

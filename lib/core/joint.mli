@@ -13,7 +13,10 @@
     [M₂ ∈ 𝓕] the unique maximal compatible union is
     [(M₁∖B) ∪ (M₂∖A) ∪ (M₁ ∩ M₂)], and every compatible union is contained
     in one of these candidates, so the join costs
-    [O(|𝓔|·|𝓕|)] set operations plus an antichain reduction. *)
+    [O(|𝓔|·|𝓕|)] set operations plus an antichain reduction.  Candidates
+    stream through an incremental antichain ({!Structure.Builder}), so
+    already-covered candidates are discarded as they are generated rather
+    than being accumulated for a final quadratic reduction. *)
 
 open Rmt_base
 open Rmt_adversary
@@ -28,6 +31,14 @@ val join_list : Structure.t list -> Structure.t
 
 val identity : Structure.t
 (** [{∅}] over the empty ground set: [join identity s] is [s]. *)
+
+val restriction_cache : View.t -> Structure.t -> int -> Structure.t
+(** [restriction_cache γ 𝒵] is a memoized [v ↦ 𝒵^{V(γ(v))}]: the first
+    call per node computes the restriction, later calls return the cached
+    value.  The cut deciders thread one cache through their whole
+    connected-subset enumeration so each node's local structure is
+    restricted exactly once per search instead of once per enumerated
+    component (the restriction is the dominant per-step cost there). *)
 
 val joint_structure : View.t -> Structure.t -> Nodeset.t -> Structure.t
 (** [joint_structure γ 𝒵 B] is [𝒵_B = ⊕_{v ∈ B} 𝒵^{V(γ(v))}] — what the

@@ -1,0 +1,39 @@
+(** Multicore sweep driver: a [Domain]-based parallel map over independent
+    experiment instances.
+
+    Built on the raw OCaml 5 stdlib ([Domain], [Atomic]) — no additional
+    dependencies.  Work is distributed dynamically through an atomic
+    cursor (each domain claims the next unprocessed index), which load-
+    balances the highly skewed per-instance costs of the cut deciders.
+    Results are stored by input index, so the output ordering — and, for
+    pure functions, the output itself — is bit-for-bit identical to the
+    sequential [Array.map], whatever the interleaving of domains.
+
+    Functions mapped in parallel must not share mutable state; in this
+    repository that means pre-splitting any {!Rmt_base.Prng} streams per
+    instance {e before} the sweep (consumption order inside one instance
+    is then deterministic, and no stream is shared across domains). *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+exception Worker_failure of exn
+(** Raised by {!map} in the calling domain when some worker raised; the
+    payload is the first exception observed.  Remaining workers stop
+    claiming work and are joined before the re-raise. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f input] is [Array.map f input], computed on [domains]
+    domains ({!recommended_domains} by default; the calling domain is one
+    of them).  [domains = 1] (or a short input) degrades to the plain
+    sequential map with no domain spawned.
+    @raise Invalid_argument if [domains < 1].
+    @raise Worker_failure if [f] raised on some element. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} through array conversion; preserves list order. *)
+
+val time_with_domains :
+  domains:int -> ('a -> 'b) -> 'a array -> 'b array * float
+(** {!map} plus its wall-clock seconds — the measurement hook for the
+    scaling benchmarks. *)

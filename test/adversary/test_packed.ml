@@ -1,0 +1,221 @@
+(* Equivalence suite for the packed antichain representation.
+
+   Every kernel that got a packed fast path (reduce, mem, restrict, the
+   streaming Builder, and the joint-view join built on it) is checked
+   against an independent list-based reference implementation — the
+   straightforward sort + quadratic subset scan the packed code replaced.
+   On top of the equivalences, the ⊕ semilattice laws (Theorems 11, 13,
+   14) are exercised directly on the packed representation. *)
+
+open Rmt_base
+open Rmt_adversary
+open Rmt_core
+
+let ns = Nodeset.of_list
+
+(* ------------------------------------------------------------------ *)
+(* List-based reference kernels                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ref_reduce sets =
+  let sorted = List.sort_uniq Nodeset.compare sets in
+  List.filter
+    (fun z ->
+      not
+        (List.exists
+           (fun z' -> (not (Nodeset.equal z z')) && Nodeset.subset z z')
+           sorted))
+    sorted
+
+let ref_mem z maximal = List.exists (fun m -> Nodeset.subset z m) maximal
+
+let ref_restrict a maximal =
+  ref_reduce (List.map (fun m -> Nodeset.inter m a) maximal)
+
+let ref_join (a, max_e) (b, max_f) =
+  ref_reduce
+    (List.concat_map
+       (fun m1 ->
+         List.map
+           (fun m2 ->
+             Nodeset.union
+               (Nodeset.union (Nodeset.diff m1 b) (Nodeset.diff m2 a))
+               (Nodeset.inter m1 m2))
+           max_f)
+       max_e)
+
+(* antichain equality up to ordering *)
+let same_family xs ys =
+  let sort = List.sort Nodeset.compare in
+  List.equal Nodeset.equal (sort xs) (sort ys)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sets_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let rng = Prng.create seed in
+    let ground = Nodeset.range 0 10 in
+    let* k = int_range 0 12 in
+    return
+      (List.init k (fun _ -> Prng.sample rng ground (Prng.int rng 6))))
+
+let arb_sets =
+  QCheck.make
+    ~print:(fun sets -> String.concat " " (List.map Nodeset.to_string sets))
+    sets_gen
+
+(* structure over a random ground ⊆ {0..9}, as a (ground, structure) pair *)
+let structure_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let rng = Prng.create seed in
+    let ground =
+      Nodeset.add (Prng.int rng 10) (Prng.sample rng (Nodeset.range 0 10) 5)
+    in
+    let* k = int_range 1 6 in
+    let sets =
+      List.init k (fun _ -> Prng.sample rng ground (Prng.int rng 4))
+    in
+    return (Structure.of_sets ~ground sets))
+
+let arb_structure = QCheck.make ~print:Structure.to_string structure_gen
+
+let qtest name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Packed vs reference                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_equiv =
+  qtest "reduce = reference reduce" arb_sets (fun sets ->
+      same_family (Structure.reduce sets) (ref_reduce sets))
+
+let reduce_invariants =
+  qtest "reduce yields a (size, set)-sorted antichain" arb_sets (fun sets ->
+      let out = Structure.reduce sets in
+      let sorted_ok =
+        let rec ok = function
+          | a :: (b :: _ as rest) ->
+            (Nodeset.size a < Nodeset.size b
+            || (Nodeset.size a = Nodeset.size b && Nodeset.compare a b < 0))
+            && ok rest
+          | _ -> true
+        in
+        ok out
+      in
+      let antichain_ok =
+        List.for_all
+          (fun z ->
+            not
+              (List.exists
+                 (fun z' ->
+                   (not (Nodeset.equal z z')) && Nodeset.subset z z')
+                 out))
+          out
+      in
+      sorted_ok && antichain_ok)
+
+let mem_equiv =
+  qtest "mem = reference mem"
+    QCheck.(pair arb_structure (QCheck.make QCheck.Gen.(int_bound 1_000_000)))
+    (fun (s, seed) ->
+      let rng = Prng.create seed in
+      let ground = Structure.ground s in
+      let maximal = Structure.maximal_sets s in
+      List.for_all
+        (fun _ ->
+          let z = Prng.sample rng ground (Prng.int rng (Nodeset.size ground)) in
+          Structure.mem z s = ref_mem z maximal)
+        (List.init 20 Fun.id))
+
+let restrict_equiv =
+  qtest "restrict = reference restrict"
+    QCheck.(pair arb_structure (QCheck.make QCheck.Gen.(int_bound 1_000_000)))
+    (fun (s, seed) ->
+      let rng = Prng.create seed in
+      let ground = Structure.ground s in
+      let a = Prng.sample rng ground (Prng.int rng (Nodeset.size ground + 1)) in
+      same_family
+        (Structure.maximal_sets (Structure.restrict a s))
+        (ref_restrict a (Structure.maximal_sets s)))
+
+let join_equiv =
+  qtest "join = reference join" QCheck.(pair arb_structure arb_structure)
+    (fun (e, f) ->
+      let a = Structure.ground e and b = Structure.ground f in
+      same_family
+        (Structure.maximal_sets (Joint.join e f))
+        (ref_join
+           (a, Structure.maximal_sets e)
+           (b, Structure.maximal_sets f)))
+
+let builder_equiv =
+  qtest "Builder streaming = of_sets" arb_sets (fun sets ->
+      let ground = Nodeset.range 0 10 in
+      let b = Structure.Builder.create () in
+      List.iter (fun z -> Structure.Builder.add b z) sets;
+      let streamed = Structure.Builder.to_structure ~ground b in
+      (match sets with
+      | [] -> true
+      | _ ->
+        Structure.Builder.cardinal b = Structure.num_maximal streamed)
+      && Structure.equal streamed (Structure.of_sets ~ground sets))
+
+let builder_covered =
+  qtest "Builder.covered = mem of the running antichain" arb_sets (fun sets ->
+      let ground = Nodeset.range 0 10 in
+      let b = Structure.Builder.create () in
+      List.iter (fun z -> Structure.Builder.add b z) sets;
+      let s = Structure.Builder.to_structure ~ground b in
+      List.for_all
+        (fun z ->
+          Structure.Builder.covered b z
+          = Structure.mem z s)
+        (Nodeset.empty :: ns [ 0; 1; 2 ] :: sets))
+
+(* ------------------------------------------------------------------ *)
+(* ⊕ semilattice laws on the packed representation                     *)
+(* ------------------------------------------------------------------ *)
+
+let join_commutative =
+  qtest "join commutative" QCheck.(pair arb_structure arb_structure)
+    (fun (e, f) -> Structure.equal (Joint.join e f) (Joint.join f e))
+
+let join_associative =
+  qtest "join associative"
+    QCheck.(triple arb_structure arb_structure arb_structure)
+    (fun (e, f, g) ->
+      Structure.equal
+        (Joint.join (Joint.join e f) g)
+        (Joint.join e (Joint.join f g)))
+
+let join_idempotent =
+  qtest "join idempotent" arb_structure (fun s ->
+      Structure.equal (Joint.join s s) s)
+
+let join_identity =
+  qtest "join identity" arb_structure (fun s ->
+      Structure.equal (Joint.join Joint.identity s) s
+      && Structure.equal (Joint.join s Joint.identity) s)
+
+let () =
+  Alcotest.run "packed"
+    [
+      ( "equivalence",
+        [
+          reduce_equiv;
+          reduce_invariants;
+          mem_equiv;
+          restrict_equiv;
+          join_equiv;
+          builder_equiv;
+          builder_covered;
+        ] );
+      ( "semilattice",
+        [ join_commutative; join_associative; join_idempotent; join_identity ]
+      );
+    ]

@@ -31,7 +31,14 @@ let test_add_remove () =
   check "removed" false (Nodeset.mem 5 s');
   check_int "size after remove" 2 (Nodeset.size s');
   check "remove absent is id" true (Nodeset.equal s (Nodeset.remove 7 s));
-  check "add present is id" true (Nodeset.equal s (Nodeset.add 1 s))
+  check "add present is id" true (Nodeset.equal s (Nodeset.add 1 s));
+  (* no-ops return the input physically unchanged — no allocation *)
+  check "add present is physical id" true (Nodeset.add 1 s == s);
+  check "remove absent is physical id" true (Nodeset.remove 7 s == s);
+  check "add absent still raises on negatives" true
+    (match Nodeset.add (-3) s with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 let test_negative_rejected () =
   Alcotest.check_raises "negative id" (Invalid_argument "Nodeset: negative node id")

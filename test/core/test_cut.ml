@@ -210,6 +210,20 @@ let test_budget_reported () =
   check "reported incomplete" false v.complete;
   check "not absent-certain" false (Cut.absent_certainly v)
 
+let test_visited_counts () =
+  let g = Generators.layered ~width:4 ~depth:4 in
+  let inst = ad_hoc_instance g ~t:1 ~dealer:0 ~receiver:17 in
+  (* budget-capped search: the counter includes the over-budget candidate
+     that tripped the cap, so it lands in [1, budget + 1] *)
+  let capped = Cut.find_rmt_cut ~budget:3 inst in
+  check "visited under budget" true (capped.visited >= 1 && capped.visited <= 4);
+  (* complete search visits at least as much as the capped one, and both
+     deciders agree on the count since they enumerate the same space *)
+  let full = Cut.find_rmt_cut inst in
+  check "full visits more" true (full.visited >= capped.visited);
+  let naive = Cut.find_rmt_cut_naive inst in
+  Alcotest.(check int) "naive visits same space" full.visited naive.visited
+
 let () =
   Alcotest.run "cut"
     [
@@ -225,6 +239,7 @@ let () =
             test_asymmetric_structure;
           Alcotest.test_case "is_rmt_cut direct" `Quick test_is_rmt_cut_direct;
           Alcotest.test_case "budget reported" `Quick test_budget_reported;
+          Alcotest.test_case "visited counts" `Quick test_visited_counts;
         ] );
       ("brute-force", List.map QCheck_alcotest.to_alcotest qcheck_brute);
       ("theory", List.map QCheck_alcotest.to_alcotest qcheck_theory);

@@ -1,0 +1,104 @@
+(* The multicore sweep driver's whole contract is "indistinguishable from
+   Array.map": same results, same order, failures re-raised — whatever the
+   domain count.  These tests pin that contract down, including the
+   pre-split-Prng pattern the experiment sweeps rely on. *)
+
+open Rmt_base
+open Rmt_workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a skewed per-element workload: consume the element's private stream a
+   pseudo-random number of times and fold; mirrors how the experiment
+   sweeps hand each instance its own split stream *)
+let consume rng =
+  let steps = 1 + Prng.int rng 500 in
+  let acc = ref 0 in
+  for _ = 1 to steps do
+    acc := (!acc * 31) + Prng.int rng 1_000_000
+  done;
+  !acc
+
+let split_streams seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Prng.split rng)
+
+let test_matches_sequential () =
+  let input = Array.init 97 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun d ->
+      check
+        (Printf.sprintf "domains=%d equals Array.map" d)
+        true
+        (Parsweep.map ~domains:d f input = Array.map f input))
+    [ 1; 2; 4; 7 ]
+
+let test_deterministic_across_domain_counts () =
+  (* fresh streams per run: a Prng stream is mutable, so equality across
+     domain counts really does require the disjoint pre-split pattern *)
+  let run d = Parsweep.map ~domains:d consume (split_streams 1234 61) in
+  let reference = run 1 in
+  List.iter
+    (fun d ->
+      check
+        (Printf.sprintf "domains=%d identical to sequential" d)
+        true
+        (run d = reference))
+    [ 2; 3; 4; 8 ]
+
+let test_ordering_preserved () =
+  let input = Array.init 64 (fun i -> i) in
+  let out = Parsweep.map ~domains:4 (fun x -> x) input in
+  Array.iteri (fun i x -> check_int (Printf.sprintf "slot %d" i) i x) out
+
+let test_map_list () =
+  let l = List.init 40 (fun i -> i) in
+  check "map_list preserves order" true
+    (Parsweep.map_list ~domains:4 (fun x -> x * 3) l = List.map (fun x -> x * 3) l)
+
+let test_empty_and_tiny () =
+  check "empty input" true (Parsweep.map ~domains:4 (fun x -> x) [||] = [||]);
+  check "singleton input" true
+    (Parsweep.map ~domains:4 string_of_int [| 7 |] = [| "7" |])
+
+let test_failure_propagates () =
+  let boom = Failure "boom" in
+  List.iter
+    (fun d ->
+      match
+        Parsweep.map ~domains:d
+          (fun x -> if x = 13 then raise boom else x)
+          (Array.init 50 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Worker_failure"
+      | exception Parsweep.Worker_failure e when e == boom -> ()
+      | exception e -> raise e)
+    [ 1; 4 ]
+
+let test_invalid_domains () =
+  Alcotest.check_raises "domains = 0"
+    (Invalid_argument "Parsweep.map: domains must be >= 1") (fun () ->
+      ignore (Parsweep.map ~domains:0 (fun x -> x) [| 1; 2; 3 |]))
+
+let test_recommended_positive () =
+  check "recommended_domains >= 1" true (Parsweep.recommended_domains () >= 1)
+
+let () =
+  Alcotest.run "parsweep"
+    [
+      ( "contract",
+        [
+          Alcotest.test_case "matches Array.map" `Quick test_matches_sequential;
+          Alcotest.test_case "deterministic across domain counts" `Quick
+            test_deterministic_across_domain_counts;
+          Alcotest.test_case "ordering preserved" `Quick test_ordering_preserved;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "empty and tiny inputs" `Quick test_empty_and_tiny;
+          Alcotest.test_case "failure propagates" `Quick test_failure_propagates;
+          Alcotest.test_case "invalid domains" `Quick test_invalid_domains;
+          Alcotest.test_case "recommended domains" `Quick
+            test_recommended_positive;
+        ] );
+    ]

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json outputs examples clean
+.PHONY: all build test bench bench-json fuzz fuzz-smoke bench-check outputs examples clean
 
 all: build
 
@@ -16,6 +16,25 @@ bench:
 # Regenerate the checked-in kernel benchmark record (BENCH_core.json).
 bench-json:
 	dune exec bench/main.exe -- core --json
+
+# Seeded fuzzing campaigns over instances/ (table + BENCH_attack.json).
+fuzz:
+	dune exec bench/main.exe -- attack --json
+
+# Quick time-budgeted campaign per instance, as the CI fuzz-smoke job runs it.
+fuzz-smoke:
+	for inst in instances/*.rmt; do \
+	  dune exec bin/rmt_cli.exe -- fuzz --instance $$inst \
+	    --seed 2016 --attacks 500 --budget 15 \
+	    --out fuzz_reproducer_$$(basename $$inst) || exit 1; \
+	done
+
+# Compare a fresh kernel record against the committed baseline (>25% fails).
+bench-check:
+	cp BENCH_core.json /tmp/rmt_bench_baseline.json
+	dune exec bench/main.exe -- core --json
+	dune exec bench/check_regression.exe -- /tmp/rmt_bench_baseline.json \
+	  BENCH_core.json --threshold=0.25
 
 examples:
 	dune exec examples/quickstart.exe

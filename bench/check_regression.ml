@@ -1,0 +1,112 @@
+(* Bench regression gate.
+
+   Compares a freshly generated BENCH_core.json against the committed
+   baseline and fails when a tracked kernel (join/reduce, the antichain
+   engine's hot paths) regressed by more than the threshold.
+
+   Usage: check_regression.exe BASELINE CANDIDATE [--threshold=0.25]
+
+   The record format is the bench harness's own output: one
+   {"name": ..., "ns_per_run": ...} object per line inside the "micro"
+   array.  No JSON library — the two files are self-printed, so a line
+   scanner is exact.
+
+   Exit codes: 0 ok, 1 regression found, 2 usage or parse error. *)
+
+let tracked name =
+  let has_prefix p =
+    let lp = String.length p in
+    String.length name >= lp && String.sub name 0 lp = p
+  in
+  has_prefix "rmt/join/" || has_prefix "rmt/reduce/"
+
+let parse_micro path =
+  let entries = ref [] in
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      Printf.eprintf "cannot open %s: %s\n" path e;
+      exit 2
+  in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       (try
+          Scanf.sscanf line "{%S: %S, %S: %f"
+            (fun k name k2 ns ->
+              if k = "name" && k2 = "ns_per_run" then
+                entries := (name, ns) :: !entries)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+     done
+   with End_of_file -> close_in ic);
+  List.rev !entries
+
+let () =
+  let threshold = ref 0.25 in
+  let files = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i = 0 then ()
+      else if String.length arg > 12 && String.sub arg 0 12 = "--threshold=" then
+        match
+          float_of_string_opt (String.sub arg 12 (String.length arg - 12))
+        with
+        | Some t when t > 0. -> threshold := t
+        | _ ->
+          Printf.eprintf "invalid %S\n" arg;
+          exit 2
+      else files := arg :: !files)
+    Sys.argv;
+  let baseline_path, candidate_path =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ ->
+      Printf.eprintf
+        "usage: check_regression.exe BASELINE CANDIDATE [--threshold=0.25]\n";
+      exit 2
+  in
+  let baseline = parse_micro baseline_path in
+  let candidate = parse_micro candidate_path in
+  if baseline = [] then begin
+    Printf.eprintf "no benchmark entries in %s\n" baseline_path;
+    exit 2
+  end;
+  if candidate = [] then begin
+    Printf.eprintf "no benchmark entries in %s\n" candidate_path;
+    exit 2
+  end;
+  let regressions = ref 0 and checked = ref 0 in
+  Printf.printf "%-28s %14s %14s %9s\n" "kernel" "baseline ns" "candidate ns"
+    "ratio";
+  List.iter
+    (fun (name, base_ns) ->
+      if tracked name then
+        match List.assoc_opt name candidate with
+        | None ->
+          (* a tracked kernel disappearing from the bench is a failure:
+             silent coverage loss looks exactly like a perf win *)
+          incr regressions;
+          Printf.printf "%-28s %14.1f %14s %9s  MISSING\n" name base_ns "-" "-"
+        | Some cand_ns ->
+          incr checked;
+          let ratio = cand_ns /. base_ns in
+          let flag = ratio > 1. +. !threshold in
+          if flag then incr regressions;
+          Printf.printf "%-28s %14.1f %14.1f %8.2fx%s\n" name base_ns cand_ns
+            ratio
+            (if flag then "  REGRESSION" else ""))
+    baseline;
+  if !checked = 0 then begin
+    Printf.eprintf "no tracked (join/reduce) kernels found in %s\n"
+      baseline_path;
+    exit 2
+  end;
+  if !regressions > 0 then begin
+    Printf.printf
+      "\n%d kernel(s) regressed beyond %.0f%% of the committed baseline.\n"
+      !regressions (100. *. !threshold);
+    exit 1
+  end
+  else
+    Printf.printf "\nall %d tracked kernels within %.0f%% of the baseline.\n"
+      !checked (100. *. !threshold)

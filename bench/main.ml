@@ -1179,6 +1179,111 @@ let core () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* ATTACK — adversarial fuzzing campaigns over the checked-in instances *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = Rmt_attack.Campaign
+
+let attack_seed = 2016
+let attack_count = 60
+
+(* json fragments filled in by [attack] and flushed by the driver *)
+let attack_json_sections : string list ref = ref []
+
+let attack_instances () =
+  let dir = "instances" in
+  let from_files =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list |> List.sort compare
+      |> List.filter (fun f -> Filename.check_suffix f ".rmt")
+      |> List.filter_map (fun f ->
+             match Codec.of_file (Filename.concat dir f) with
+             | Ok inst -> Some (Filename.chop_suffix f ".rmt", inst)
+             | Error _ -> None)
+    else []
+  in
+  if from_files <> [] then from_files
+  else begin
+    (* running outside the repo root: one synthetic stand-in *)
+    let g = Generators.layered ~width:3 ~depth:2 in
+    let receiver =
+      List.fold_left
+        (fun (bv, bd) (v, d) -> if d > bd then (v, d) else (bv, bd))
+        (0, 0)
+        (Connectivity.distances_from g 0)
+      |> fst
+    in
+    [
+      ( "layered_3x2",
+        Instance.ad_hoc_of ~graph:g
+          ~structure:(Builders.global_threshold g ~dealer:0 1)
+          ~dealer:0 ~receiver );
+    ]
+  end
+
+let attack () =
+  section
+    (Printf.sprintf
+       "ATTACK — seeded fuzzing campaigns (%d programs per protocol, seed %d)"
+       attack_count attack_seed);
+  let t =
+    Table.create
+      [
+        "instance"; "protocol"; "feasibility"; "delivered"; "silenced";
+        "violated"; "liveness lost"; "SAFETY VIOLATIONS";
+      ]
+  in
+  let protocols = Campaign.[ Pka; Ppa; Zcpa ] in
+  let fragments =
+    List.concat_map
+      (fun (name, inst) ->
+        List.map
+          (fun p ->
+            let r =
+              Campaign.run ~domains:(sweep_domains ()) ~seed:attack_seed
+                ~attacks:attack_count p inst
+            in
+            let nviol = List.length r.Campaign.safety_violations in
+            Table.add_row t
+              [
+                name;
+                Campaign.protocol_to_string p;
+                Format.asprintf "%a" Solvability.pp_feasibility
+                  r.Campaign.solvability;
+                Table.cell_int r.Campaign.delivered;
+                Table.cell_int r.Campaign.silenced;
+                Table.cell_int r.Campaign.violated;
+                Table.cell_int r.Campaign.liveness_lost;
+                Table.cell_int nviol;
+              ];
+            Printf.sprintf
+              "{\"instance\": %S, \"protocol\": %S, \"feasibility\": %S, \
+               \"attacks\": %d, \"delivered\": %d, \"silenced\": %d, \
+               \"violated\": %d, \"liveness_lost\": %d, \
+               \"safety_violations\": %d}"
+              name
+              (Campaign.protocol_to_string p)
+              (Format.asprintf "%a" Solvability.pp_feasibility
+                 r.Campaign.solvability)
+              r.Campaign.attacks r.Campaign.delivered r.Campaign.silenced
+              r.Campaign.violated r.Campaign.liveness_lost nviol)
+          protocols)
+      (attack_instances ())
+  in
+  Table.print
+    ~title:
+      "paper claim (Thm 4): 0 safety violations on every instance; silence \
+       on unsolvable ones witnesses the cut"
+    t;
+  attack_json_sections :=
+    [
+      Printf.sprintf "\"seed\": %d" attack_seed;
+      Printf.sprintf "\"attacks_per_campaign\": %d" attack_count;
+      Printf.sprintf "\"campaigns\": [\n    %s\n  ]"
+        (String.concat ",\n    " fragments);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1187,7 +1292,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e2b", e2b); ("e3", e3); ("e4", e4);
     ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("ablations", ablations); ("bechamel", bechamel);
-    ("core", core);
+    ("core", core); ("attack", attack);
   ]
 
 let write_core_json () =
@@ -1197,6 +1302,14 @@ let write_core_json () =
     "{\n  \"schema\": \"rmt-bench-core/1\",\n  \"domains_available\": %d,\n  %s\n}\n"
     (Parsweep.recommended_domains ())
     (String.concat ",\n  " !core_json_sections);
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
+let write_attack_json () =
+  let path = "BENCH_attack.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rmt-bench-attack/1\",\n  %s\n}\n"
+    (String.concat ",\n  " !attack_json_sections);
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
@@ -1239,4 +1352,5 @@ let () =
           (String.concat ", " (List.map fst experiments));
         exit 1)
     names;
-  if !json_mode && !core_json_sections <> [] then write_core_json ()
+  if !json_mode && !core_json_sections <> [] then write_core_json ();
+  if !json_mode && !attack_json_sections <> [] then write_attack_json ()

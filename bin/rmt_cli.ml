@@ -4,6 +4,7 @@
      analyze   feasibility of an instance (cut witnesses, minimal radius)
      run       execute a protocol on a simulated network
      attack    mount the two-face indistinguishability attack
+     fuzz      seeded adversarial campaign / reproducer replay
      dot       emit the instance as Graphviz
 
    Instances are described by three little specs:
@@ -317,6 +318,107 @@ let attack file seed topology adversary knowledge dealer receiver =
        `Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_protocols = function
+  | `Pka -> [ Rmt_attack.Campaign.Pka ]
+  | `Ppa -> [ Rmt_attack.Campaign.Ppa ]
+  | `Zcpa -> [ Rmt_attack.Campaign.Zcpa ]
+  | `All -> Rmt_attack.Campaign.[ Pka; Ppa; Zcpa ]
+
+(* Shrink the first safety violation to a minimal reproducer and write it
+   (plus its rendered trace) where CI can pick it up as an artifact. *)
+let write_reproducer inst protocol ~x_dealer (r : Rmt_attack.Campaign.run_report)
+    out =
+  let open Rmt_attack in
+  (* modest eval budget: a reproducer a few steps short of minimal beats a
+     CI job stuck re-running an expensive receiver hundreds of times *)
+  let inst', program' =
+    Shrink.minimize ~budget:150
+      ~keep:(Shrink.keep_verdict protocol ~x_dealer ~verdict:r.verdict)
+      inst r.program
+  in
+  let shrunk =
+    Campaign.execute protocol inst' ~x_dealer program'
+  in
+  let replay =
+    Replay.make ~expected:shrunk.Campaign.verdict ~protocol ~x_dealer inst'
+      program'
+  in
+  match Replay.to_file out replay with
+  | Error e -> Printf.eprintf "cannot write reproducer %s: %s\n" out e
+  | Ok () ->
+    let _, trace = Replay.replay replay in
+    Out_channel.with_open_text (out ^ ".trace") (fun oc ->
+        Out_channel.output_string oc trace);
+    Printf.printf "reproducer written to %s (trace: %s.trace)\n" out out
+
+let fuzz file seed topology adversary knowledge dealer receiver value protocol
+    attacks budget out trace replay_file =
+  let open Rmt_attack in
+  match replay_file with
+  | Some path ->
+    (match Replay.of_file path with
+     | Error e -> parse_error "%s" e
+     | Ok r ->
+       let report, rendered = Replay.replay r in
+       if trace then print_string rendered;
+       Printf.printf "replay %s: verdict %s%s\n" path
+         (Campaign.verdict_to_string report.Campaign.verdict)
+         (match r.Replay.expected with
+          | None -> ""
+          | Some v ->
+            Printf.sprintf " (recorded: %s)" (Campaign.verdict_to_string v));
+       if Replay.verdict_matches r report then `Ok ()
+       else `Error (false, "replayed verdict differs from the recorded one"))
+  | None ->
+    (match
+       build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+         ~receiver ()
+     with
+     | Error e -> parse_error "%s" e
+     | Ok inst ->
+       let deadline =
+         if budget <= 0 then None
+         else Some (Unix.gettimeofday () +. float_of_int budget)
+       in
+       let should_stop () =
+         match deadline with
+         | None -> false
+         | Some t -> Unix.gettimeofday () > t
+       in
+       let x_dealer = value in
+       let violated = ref false in
+       List.iter
+         (fun p ->
+           let report =
+             Campaign.run ~should_stop ~x_dealer ~x_fake:(x_dealer + 1) ~seed
+               ~attacks p inst
+           in
+           Printf.printf "%s\n"
+             (Format.asprintf "%a" Campaign.pp_report report);
+           (match report.Campaign.safety_violations with
+            | [] -> ()
+            | r :: _ ->
+              violated := true;
+              write_reproducer inst p ~x_dealer r out);
+           if trace then
+             match report.Campaign.silenced_examples with
+             | r :: _ when report.Campaign.solvability <> Solvability.Solvable
+               ->
+               let _, rendered =
+                 Campaign.execute_traced p inst ~x_dealer r.Campaign.program
+               in
+               Printf.printf "--- trace of a cut-exploiting silencing ---\n%s"
+                 rendered
+             | _ -> ())
+         (fuzz_protocols protocol);
+       if !violated then
+         `Error (false, "safety violation found — reproducer written")
+       else `Ok ())
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -364,6 +466,51 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit the instance graph as Graphviz")
     (instance_args dot)
 
+let fuzz_cmd =
+  let protocol_t =
+    Arg.(
+      value
+      & opt
+          (enum [ ("pka", `Pka); ("ppa", `Ppa); ("zcpa", `Zcpa); ("all", `All) ])
+          `All
+      & info [ "protocol" ] ~docv:"pka|ppa|zcpa|all")
+  in
+  let attacks_t =
+    Arg.(
+      value & opt int 200
+      & info [ "attacks" ] ~docv:"N" ~doc:"Attack programs per protocol.")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; 0 means run all $(b,--attacks) programs.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt string "fuzz_reproducer.rmt"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the shrunk reproducer on a safety violation.")
+  in
+  let replay_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a reproducer file instead of running a campaign.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a seeded adversarial fuzzing campaign (or replay a reproducer); \
+          exits non-zero on any safety violation")
+    Term.(
+      ret
+        (const fuzz $ file_t $ seed_t $ topology_t $ adversary_t $ knowledge_t
+         $ dealer_t $ receiver_t $ value_t $ protocol_t $ attacks_t $ budget_t
+         $ out_t $ trace_t $ replay_t))
+
 let save file seed topology adversary knowledge dealer receiver out =
   match
     build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
@@ -395,4 +542,7 @@ let () =
         "Reliable Message Transmission under partial knowledge and general \
          adversaries (Pagourtzis, Panagiotakos, Sakavalas)"
   in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; run_command; attack_cmd; dot_cmd; save_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; run_command; attack_cmd; fuzz_cmd; dot_cmd; save_cmd ]))

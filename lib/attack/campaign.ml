@@ -1,0 +1,282 @@
+open Rmt_base
+open Rmt_knowledge
+open Rmt_net
+open Rmt_core
+open Rmt_workloads
+
+type protocol = Pka | Ppa | Zcpa
+
+let protocol_to_string = function Pka -> "pka" | Ppa -> "ppa" | Zcpa -> "zcpa"
+
+let protocol_of_string = function
+  | "pka" -> Ok Pka
+  | "ppa" -> Ok Ppa
+  | "zcpa" -> Ok Zcpa
+  | s -> Error (Printf.sprintf "unknown protocol %S (pka|ppa|zcpa)" s)
+
+type verdict =
+  | Delivered
+  | Silenced
+  | Violated of int
+
+let verdict_to_string = function
+  | Delivered -> "delivered"
+  | Silenced -> "silenced"
+  | Violated x -> Printf.sprintf "violated %d" x
+
+type run_report = {
+  program : Program.t;
+  verdict : verdict;
+  rounds : int;
+  messages : int;
+  truncated : bool;
+}
+
+type classification = Safe | Liveness_lost | Safety_violation
+
+let classification_to_string = function
+  | Safe -> "safe"
+  | Liveness_lost -> "liveness-lost"
+  | Safety_violation -> "SAFETY-VIOLATION"
+
+let solvability protocol (inst : Instance.t) =
+  match protocol with
+  | Pka -> Solvability.partial_knowledge inst
+  | Ppa ->
+    if
+      Rmt_protocols.Ppa.solvable inst.graph ~structure:inst.structure
+        ~dealer:inst.dealer ~receiver:inst.receiver
+    then Solvability.Solvable
+    else Solvability.Unsolvable
+  | Zcpa -> Solvability.ad_hoc inst
+
+let classify ~solvability ~admissible r =
+  match r.verdict with
+  | Violated _ -> if admissible then Safety_violation else Safe
+  | Delivered -> Safe
+  | Silenced ->
+    if
+      solvability = Solvability.Solvable
+      && admissible
+      && not r.truncated
+    then Liveness_lost
+    else Safe
+
+(* ------------------------------------------------------------------ *)
+(* Executing one program                                               *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_of ~x_dealer = function
+  | None -> Silenced
+  | Some x when x = x_dealer -> Delivered
+  | Some x -> Violated x
+
+let trail_summary trail =
+  Printf.sprintf "<%s>" (String.concat "," (List.map string_of_int trail))
+
+let pp_pka_msg (m : Rmt_pka.msg) =
+  match m.Flood.payload with
+  | Rmt_pka.Value x -> Printf.sprintf "V%d%s" x (trail_summary m.Flood.trail)
+  | Rmt_pka.Info r ->
+    Printf.sprintf "I(%d)%s" r.Rmt_pka.origin (trail_summary m.Flood.trail)
+
+let pp_ppa_msg (m : Rmt_protocols.Ppa.msg) =
+  Printf.sprintf "%d%s" m.Flood.payload (trail_summary m.Flood.trail)
+
+let fst3 (a, _, _) = a
+let snd3 (_, b, _) = b
+let trd3 (_, _, c) = c
+
+(* Each protocol's run, replicated from its [run] wrapper so a trace hook
+   can observe the deliveries; verdicts must stay identical to the
+   wrapper's. *)
+let execute_gen ?max_messages ?on_deliver protocol (inst : Instance.t)
+    ~x_dealer (p : Program.t) =
+  match protocol with
+  | Pka ->
+    let adversary = Strategy_gen.compile_pka p inst ~x_dealer in
+    let auto = Rmt_pka.automaton inst ~x_dealer in
+    let outcome =
+      Engine.run ?max_messages ?on_deliver:(Option.map fst3 on_deliver)
+        ~size_of:Rmt_pka.msg_size
+        ~stop_when:(fun dec -> dec inst.receiver <> None)
+        ~graph:inst.graph ~adversary auto
+    in
+    let decided = Engine.decision_of outcome inst.receiver in
+    let recv_truncated =
+      match List.assoc_opt inst.receiver outcome.states with
+      | Some st -> Rmt_pka.search_truncated st
+      | None -> false
+    in
+    {
+      program = p;
+      verdict = verdict_of ~x_dealer decided;
+      rounds = outcome.stats.rounds;
+      messages = outcome.stats.messages;
+      truncated = outcome.stats.truncated || recv_truncated;
+    }
+  | Ppa ->
+    let adversary = Strategy_gen.compile_ppa p inst ~x_dealer in
+    let auto =
+      Rmt_protocols.Ppa.automaton inst.graph ~structure:inst.structure
+        ~dealer:inst.dealer ~receiver:inst.receiver ~x_dealer
+    in
+    let outcome =
+      Engine.run ?max_messages ?on_deliver:(Option.map snd3 on_deliver)
+        ~size_of:(fun (m : Rmt_protocols.Ppa.msg) ->
+          1 + List.length m.Flood.trail)
+        ~stop_when:(fun dec -> dec inst.receiver <> None)
+        ~graph:inst.graph ~adversary auto
+    in
+    let decided = Engine.decision_of outcome inst.receiver in
+    {
+      program = p;
+      verdict = verdict_of ~x_dealer decided;
+      rounds = outcome.stats.rounds;
+      messages = outcome.stats.messages;
+      truncated = outcome.stats.truncated;
+    }
+  | Zcpa ->
+    let adversary = Strategy_gen.compile_zcpa p inst ~x_dealer in
+    let auto =
+      Zcpa.automaton
+        ~decider:(Zcpa.decider_of_oracle (Zcpa.direct_oracle inst))
+        inst ~x_dealer
+    in
+    let outcome =
+      Engine.run ?max_messages ?on_deliver:(Option.map trd3 on_deliver)
+        ~graph:inst.graph ~adversary auto
+    in
+    let decided = Engine.decision_of outcome inst.receiver in
+    {
+      program = p;
+      verdict = verdict_of ~x_dealer decided;
+      rounds = outcome.stats.rounds;
+      messages = outcome.stats.messages;
+      truncated = outcome.stats.truncated;
+    }
+
+let execute ?max_messages protocol inst ~x_dealer p =
+  execute_gen ?max_messages protocol inst ~x_dealer p
+
+let execute_traced ?max_messages ?max_lines protocol inst ~x_dealer p =
+  let trace_pka, hook_pka = Trace.create ~pp_payload:pp_pka_msg () in
+  let trace_ppa, hook_ppa = Trace.create ~pp_payload:pp_ppa_msg () in
+  let trace_zcpa, hook_zcpa = Trace.create ~pp_payload:string_of_int () in
+  let r =
+    execute_gen ?max_messages
+      ~on_deliver:(hook_pka, hook_ppa, hook_zcpa)
+      protocol inst ~x_dealer p
+  in
+  let trace =
+    match protocol with
+    | Pka -> trace_pka
+    | Ppa -> trace_ppa
+    | Zcpa -> trace_zcpa
+  in
+  (r, Trace.render ?max_lines trace)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  protocol : protocol;
+  seed : int;
+  attacks : int;
+  solvability : Solvability.feasibility;
+  delivered : int;
+  silenced : int;
+  violated : int;
+  truncated : int;
+  liveness_lost : int;
+  safety_violations : run_report list;
+  silenced_examples : run_report list;
+  max_rounds_seen : int;
+  total_messages : int;
+  stopped_early : bool;
+}
+
+let max_examples = 5
+
+let run ?domains ?max_messages ?(batch = 16) ?(should_stop = fun () -> false)
+    ?(x_dealer = 7) ?(x_fake = 8) ~seed ~attacks protocol (inst : Instance.t)
+    =
+  let rng = Prng.create seed in
+  let solv = solvability protocol inst in
+  let executed = ref 0
+  and delivered = ref 0
+  and silenced = ref 0
+  and violated = ref 0
+  and truncated = ref 0
+  and liveness_lost = ref 0
+  and violations = ref []
+  and silenced_ex = ref []
+  and max_rounds_seen = ref 0
+  and total_messages = ref 0
+  and stopped = ref false in
+  while (not !stopped) && !executed < attacks do
+    let n = min batch (attacks - !executed) in
+    let programs =
+      Array.init n (fun _ -> Strategy_gen.random rng inst ~x_dealer ~x_fake)
+    in
+    let reports =
+      Parsweep.map ?domains
+        (fun p -> execute ?max_messages protocol inst ~x_dealer p)
+        programs
+    in
+    Array.iter
+      (fun r ->
+        incr executed;
+        max_rounds_seen := max !max_rounds_seen r.rounds;
+        total_messages := !total_messages + r.messages;
+        if r.truncated then incr truncated;
+        let admissible =
+          Instance.admissible inst (Program.corrupted r.program)
+        in
+        (match classify ~solvability:solv ~admissible r with
+         | Safety_violation -> violations := r :: !violations
+         | Liveness_lost -> incr liveness_lost
+         | Safe -> ());
+        match r.verdict with
+        | Delivered -> incr delivered
+        | Violated _ -> incr violated
+        | Silenced ->
+          incr silenced;
+          if
+            (not r.truncated)
+            && (not (Nodeset.is_empty (Program.corrupted r.program)))
+            && List.length !silenced_ex < max_examples
+          then silenced_ex := r :: !silenced_ex)
+      reports;
+    if should_stop () then stopped := true
+  done;
+  {
+    protocol;
+    seed;
+    attacks = !executed;
+    solvability = solv;
+    delivered = !delivered;
+    silenced = !silenced;
+    violated = !violated;
+    truncated = !truncated;
+    liveness_lost = !liveness_lost;
+    safety_violations = List.rev !violations;
+    silenced_examples = List.rev !silenced_ex;
+    max_rounds_seen = !max_rounds_seen;
+    total_messages = !total_messages;
+    stopped_early = !stopped;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s campaign: seed=%d attacks=%d (%a)%s@,\
+     delivered %d | silenced %d | violated %d | truncated %d@,\
+     liveness lost %d | safety violations %d@,\
+     max rounds %d | total messages %d@]"
+    (protocol_to_string r.protocol)
+    r.seed r.attacks Solvability.pp_feasibility r.solvability
+    (if r.stopped_early then " [stopped early]" else "")
+    r.delivered r.silenced r.violated r.truncated r.liveness_lost
+    (List.length r.safety_violations)
+    r.max_rounds_seen r.total_messages

@@ -1,0 +1,121 @@
+(** Fuzzing campaigns — fan attack programs across a protocol, classify
+    every run against the paper's safety/liveness claims.
+
+    A campaign draws seeded random programs ({!Strategy_gen.random}),
+    executes each against the chosen protocol on the instance, and sorts
+    the outcomes into a three-point classification lattice:
+
+    {v
+            Safety_violation        (wrong decision — refutes Theorem 4)
+                   |
+            Liveness_lost           (no decision on a solvable instance
+                   |                 under an admissible corruption)
+                  Safe              (correct decision, or silence that
+                                     the theory permits)
+    v}
+
+    Silence is only an attack success when the instance is solvable, the
+    corruption admissible, and no budget was exhausted; on unsolvable
+    instances silence is the {e required} behavior, and such runs are
+    reported as cut-exploiting [silenced] outcomes rather than failures.
+    A wrong decision is a safety violation whenever the corruption set is
+    admissible (Theorem 4 promises safety against exactly those). *)
+
+open Rmt_core
+open Rmt_knowledge
+
+type protocol = Pka | Ppa | Zcpa
+
+val protocol_to_string : protocol -> string
+val protocol_of_string : string -> (protocol, string) result
+
+type verdict =
+  | Delivered  (** receiver decided on the dealer's value *)
+  | Silenced  (** receiver reached the round limit undecided *)
+  | Violated of int  (** receiver decided on a wrong value *)
+
+val verdict_to_string : verdict -> string
+
+type run_report = {
+  program : Program.t;
+  verdict : verdict;
+  rounds : int;
+  messages : int;
+  truncated : bool;  (** a message or search budget was exhausted *)
+}
+
+type classification = Safe | Liveness_lost | Safety_violation
+
+val classification_to_string : classification -> string
+
+val solvability : protocol -> Instance.t -> Solvability.feasibility
+(** The protocol-appropriate decider: RMT-cut for PKA and PPA (PPA's
+    full-knowledge condition), 𝒵-pp cut for Z-CPA. *)
+
+val classify :
+  solvability:Solvability.feasibility ->
+  admissible:bool ->
+  run_report ->
+  classification
+
+val execute :
+  ?max_messages:int ->
+  protocol ->
+  Instance.t ->
+  x_dealer:int ->
+  Program.t ->
+  run_report
+(** Compile the program against the protocol and run it once.
+    Deterministic in (program, instance, [x_dealer]). *)
+
+val execute_traced :
+  ?max_messages:int ->
+  ?max_lines:int ->
+  protocol ->
+  Instance.t ->
+  x_dealer:int ->
+  Program.t ->
+  run_report * string
+(** Same run, additionally rendering the delivery timeline with
+    {!Rmt_net.Trace.render}.  The verdict is identical to {!execute}'s —
+    tracing only observes. *)
+
+type report = {
+  protocol : protocol;
+  seed : int;
+  attacks : int;  (** programs actually executed *)
+  solvability : Solvability.feasibility;
+  delivered : int;
+  silenced : int;
+  violated : int;
+  truncated : int;
+  liveness_lost : int;
+  safety_violations : run_report list;
+  silenced_examples : run_report list;
+      (** first few non-truncated silencings by non-empty programs —
+          on unsolvable instances these witness the cut *)
+  max_rounds_seen : int;
+  total_messages : int;
+  stopped_early : bool;  (** [should_stop] fired before [attacks] runs *)
+}
+
+val run :
+  ?domains:int ->
+  ?max_messages:int ->
+  ?batch:int ->
+  ?should_stop:(unit -> bool) ->
+  ?x_dealer:int ->
+  ?x_fake:int ->
+  seed:int ->
+  attacks:int ->
+  protocol ->
+  Instance.t ->
+  report
+(** Runs a campaign of up to [attacks] programs drawn from [seed].
+    Batches of [batch] (default 16) programs execute through
+    {!Rmt_workloads.Parsweep.map}; [should_stop] is polled between
+    batches, so a time budget overshoots by at most one batch.  For a
+    fixed seed and attack count the report is deterministic, independent
+    of [domains]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,44 @@
+(** Delta-debugging minimization of failing (instance, attack) pairs.
+
+    Given a predicate [keep] that holds for the starting pair (e.g. "the
+    campaign still classifies this run the same way"), [minimize] greedily
+    applies size-reducing moves as long as the predicate keeps holding:
+
+    - drop a corrupted node's whole program;
+    - simplify a node's base behavior to [Silent];
+    - drop a single injection;
+    - remove an uninvolved graph node (not dealer, receiver, or corrupted,
+      and never disconnecting dealer from receiver), restricting the
+      adversary structure to the surviving ground set and rebuilding the
+      view with the same constructor.
+
+    Every accepted move strictly decreases [Program.size + num_nodes], so
+    minimization terminates; the candidate order is fixed, so for a
+    deterministic [keep] the minimum found is deterministic too.  [budget]
+    caps the number of [keep] evaluations (each typically one protocol
+    run). *)
+
+open Rmt_knowledge
+
+val minimize :
+  ?budget:int ->
+  keep:(Instance.t -> Program.t -> bool) ->
+  Instance.t ->
+  Program.t ->
+  Instance.t * Program.t
+(** Fixpoint of the moves above; [budget] defaults to 400 evaluations.
+    The result satisfies [keep] whenever the input did. *)
+
+val keep_verdict :
+  ?max_messages:int ->
+  Campaign.protocol ->
+  x_dealer:int ->
+  verdict:Campaign.verdict ->
+  Instance.t ->
+  Program.t ->
+  bool
+(** The standard predicate: re-executing the program reproduces the same
+    verdict {e constructor} (any wrong value matches [Violated _]), the
+    corruption stays admissible and non-empty, and — for a [Silenced]
+    target — no budget was exhausted (silence must be the attack's doing,
+    not the search giving up). *)

@@ -1,0 +1,365 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_net
+open Rmt_core
+
+(* Per-node PRNG stream: deterministic in (program seed, node id), and
+   independent of how many other nodes the program corrupts — shrinking a
+   program never perturbs the surviving nodes' streams. *)
+let node_rng (p : Program.t) v = Prng.create ((p.seed * 1_000_003) + v)
+
+let broadcast_msg g v m =
+  Nodeset.fold
+    (fun u acc -> Engine.{ dst = u; payload = m } :: acc)
+    (Graph.neighbors v g)
+    []
+
+let phantom_id g =
+  match Nodeset.max_elt_opt (Graph.nodes g) with
+  | Some m -> m + 1
+  | None -> 0
+
+let permissive_structure ground = Structure.of_sets ~ground [ ground ]
+
+(* Shared compilation skeleton: base behavior over the mimicked honest
+   automaton, plus per-round injected sends. *)
+let compile_skeleton (p : Program.t) automaton ~inject =
+  let corrupted = Program.corrupted p in
+  let honest = Byzantine.mimic_honest corrupted automaton in
+  let per_node =
+    List.map
+      (fun (np : Program.node_program) -> (np.node, (np, node_rng p np.node)))
+      p.nodes
+  in
+  let act v ~round ~inbox =
+    match List.assoc_opt v per_node with
+    | None -> []
+    | Some (np, rng) ->
+      let base_sends =
+        match np.base with
+        | Program.Honest -> honest.Engine.act v ~round ~inbox
+        | Program.Silent -> []
+        | Program.Crash_after k ->
+          (* keep consuming the mimic state so a later shrink to Honest
+             does not change other nodes' streams *)
+          let sends = honest.Engine.act v ~round ~inbox in
+          if round > k then [] else sends
+        | Program.Drop prob ->
+          List.filter
+            (fun _ -> Prng.float rng 1.0 >= prob)
+            (honest.Engine.act v ~round ~inbox)
+      in
+      List.fold_left
+        (fun sends i -> inject v rng ~round i sends)
+        base_sends np.injects
+  in
+  Engine.{ corrupted; act }
+
+(* ------------------------------------------------------------------ *)
+(* RMT-PKA                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pka_map_value f (s : Rmt_pka.msg Engine.send) =
+  Engine.
+    {
+      s with
+      payload =
+        {
+          s.payload with
+          Flood.payload =
+            (match s.payload.Flood.payload with
+             | Rmt_pka.Value x -> Rmt_pka.Value (f x)
+             | Rmt_pka.Info r -> Rmt_pka.Info r);
+        };
+    }
+
+(* Structurally random garbage, the vocabulary of Strategies.pka_fuzz:
+   random values, random (possibly phantom) trails, random forged reports
+   with random claimed graphs and structures. *)
+let pka_spam_payload rng g =
+  let nodes = Graph.nodes g in
+  let n = Graph.num_nodes g in
+  let random_node () =
+    if Prng.int rng 5 = 0 then n + Prng.int rng 3
+    else Prng.pick rng (Nodeset.to_array nodes)
+  in
+  if Prng.bool rng then Rmt_pka.Value (Prng.int rng 100)
+  else begin
+    let gamma = ref Graph.empty in
+    for _ = 1 to 1 + Prng.int rng 5 do
+      let a = random_node () and b = random_node () in
+      if a <> b then gamma := Graph.add_edge a b !gamma
+      else gamma := Graph.add_node a !gamma
+    done;
+    let origin =
+      match Nodeset.choose_opt (Graph.nodes !gamma) with
+      | Some v -> v
+      | None -> random_node ()
+    in
+    let gamma = Graph.add_node origin !gamma in
+    let ground = Graph.nodes gamma in
+    let zeta =
+      if Prng.bool rng then Structure.trivial ~ground
+      else Structure.of_sets ~ground [ Prng.subset rng ground 0.5 ]
+    in
+    Rmt_pka.Info { origin; gamma; zeta }
+  end
+
+let pka_random_trail rng g v =
+  let nodes = Graph.nodes g in
+  let n = Graph.num_nodes g in
+  let random_node () =
+    if Prng.int rng 5 = 0 then n + Prng.int rng 3
+    else Prng.pick rng (Nodeset.to_array nodes)
+  in
+  List.init (1 + Prng.int rng 4) (fun _ -> random_node ()) @ [ v ]
+
+let compile_pka (p : Program.t) (inst : Instance.t) ~x_dealer =
+  let g = inst.graph in
+  let inject v rng ~round i sends =
+    match i with
+    | Program.Flip_value x ->
+      List.map (pka_map_value (fun _ -> x)) sends
+    | Program.Forge_trail x ->
+      if round = 1 then
+        sends
+        @ broadcast_msg g v
+            Flood.{ payload = Rmt_pka.Value x; trail = [ inst.dealer; v ] }
+      else sends
+    | Program.Lie_topology ->
+      if round = 1 then begin
+        let fake_gamma =
+          Graph.add_edge v inst.dealer (Instance.local_view inst v)
+        in
+        let ground = Nodeset.remove inst.dealer (Graph.nodes fake_gamma) in
+        let report =
+          Rmt_pka.
+            { origin = v; gamma = fake_gamma; zeta = permissive_structure ground }
+        in
+        sends
+        @ broadcast_msg g v
+            Flood.{ payload = Rmt_pka.Info report; trail = [ v ] }
+      end
+      else sends
+    | Program.Phantom x ->
+      if round = 1 then begin
+        let phantom = phantom_id g in
+        let phantom_gamma =
+          Graph.add_edge phantom v
+            (Graph.add_edge phantom inst.dealer Graph.empty)
+        in
+        let phantom_report =
+          Rmt_pka.
+            {
+              origin = phantom;
+              gamma = phantom_gamma;
+              zeta = Structure.trivial ~ground:Nodeset.empty;
+            }
+        in
+        sends
+        @ broadcast_msg g v
+            Flood.{ payload = Rmt_pka.Info phantom_report; trail = [ phantom; v ] }
+        @ broadcast_msg g v
+            Flood.
+              { payload = Rmt_pka.Value x; trail = [ inst.dealer; phantom; v ] }
+      end
+      else sends
+    | Program.Forge_edges x ->
+      if round = 1 then begin
+        let nbrs = Graph.neighbors v g in
+        let fake_gamma =
+          Nodeset.fold
+            (fun u acc ->
+              let acc =
+                if u <> inst.dealer then Graph.add_edge inst.dealer u acc
+                else acc
+              in
+              Nodeset.fold
+                (fun w acc -> if u < w then Graph.add_edge u w acc else acc)
+                nbrs acc)
+            nbrs
+            (Instance.local_view inst v)
+        in
+        let ground = Nodeset.remove inst.dealer (Graph.nodes fake_gamma) in
+        let report =
+          Rmt_pka.
+            { origin = v; gamma = fake_gamma; zeta = permissive_structure ground }
+        in
+        sends
+        @ broadcast_msg g v
+            Flood.{ payload = Rmt_pka.Info report; trail = [ v ] }
+        @ Nodeset.fold
+            (fun u acc ->
+              broadcast_msg g v
+                Flood.
+                  { payload = Rmt_pka.Value x; trail = [ inst.dealer; u; v ] }
+              @ acc)
+            nbrs []
+      end
+      else sends
+    | Program.Spam { spam_seed; rounds } ->
+      if round <= rounds then begin
+        let srng = Prng.create (spam_seed + (v * 7919) + round) in
+        ignore rng;
+        let burst = 1 + Prng.int srng 3 in
+        sends
+        @ List.concat
+            (List.init burst (fun _ ->
+                 broadcast_msg g v
+                   Flood.
+                     {
+                       payload = pka_spam_payload srng g;
+                       trail = pka_random_trail srng g v;
+                     }))
+      end
+      else sends
+  in
+  compile_skeleton p (Rmt_pka.automaton inst ~x_dealer) ~inject
+
+(* ------------------------------------------------------------------ *)
+(* PPA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ppa_map_value f (s : Rmt_protocols.Ppa.msg Engine.send) =
+  Engine.
+    { s with payload = { s.payload with Flood.payload = f s.payload.Flood.payload } }
+
+let compile_ppa (p : Program.t) (inst : Instance.t) ~x_dealer =
+  let g = inst.graph in
+  let inject v rng ~round i sends =
+    match i with
+    | Program.Flip_value x -> List.map (ppa_map_value (fun _ -> x)) sends
+    | Program.Forge_trail x ->
+      if round = 1 then
+        sends
+        @ broadcast_msg g v Flood.{ payload = x; trail = [ inst.dealer; v ] }
+      else sends
+    | Program.Lie_topology -> sends (* no knowledge channel in PPA *)
+    | Program.Phantom x ->
+      if round = 1 then
+        sends
+        @ broadcast_msg g v
+            Flood.{ payload = x; trail = [ inst.dealer; phantom_id g; v ] }
+      else sends
+    | Program.Forge_edges x ->
+      if round = 1 then
+        sends
+        @ Nodeset.fold
+            (fun u acc ->
+              broadcast_msg g v Flood.{ payload = x; trail = [ inst.dealer; u; v ] }
+              @ acc)
+            (Graph.neighbors v g) []
+      else sends
+    | Program.Spam { spam_seed; rounds } ->
+      if round <= rounds then begin
+        let srng = Prng.create (spam_seed + (v * 7919) + round) in
+        ignore rng;
+        let burst = 1 + Prng.int srng 3 in
+        sends
+        @ List.concat
+            (List.init burst (fun _ ->
+                 broadcast_msg g v
+                   Flood.
+                     {
+                       payload = Prng.int srng 100;
+                       trail = pka_random_trail srng g v;
+                     }))
+      end
+      else sends
+  in
+  compile_skeleton p
+    (Rmt_protocols.Ppa.automaton g ~structure:inst.structure ~dealer:inst.dealer
+       ~receiver:inst.receiver ~x_dealer)
+    ~inject
+
+(* ------------------------------------------------------------------ *)
+(* Z-CPA                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_zcpa (p : Program.t) (inst : Instance.t) ~x_dealer =
+  let g = inst.graph in
+  let push v x sends = sends @ broadcast_msg g v x in
+  let inject v rng ~round i sends =
+    match i with
+    | Program.Flip_value x ->
+      (* rewrite relays and push the fake once: the strongest simple lie *)
+      let sends = List.map (fun s -> Engine.{ s with payload = x }) sends in
+      if round = 1 then push v x sends else sends
+    | Program.Forge_trail x | Program.Phantom x | Program.Forge_edges x ->
+      if round = 1 then push v x sends else sends
+    | Program.Lie_topology -> sends
+    | Program.Spam { spam_seed; rounds } ->
+      if round <= rounds then begin
+        let srng = Prng.create (spam_seed + (v * 7919) + round) in
+        ignore rng;
+        push v (Prng.int srng 100) sends
+      end
+      else sends
+  in
+  compile_skeleton p
+    (Zcpa.automaton
+       ~decider:(Zcpa.decider_of_oracle (Zcpa.direct_oracle inst))
+       inst ~x_dealer)
+    ~inject
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let random_base rng =
+  match Prng.int rng 8 with
+  | 0 -> Program.Silent
+  | 1 -> Program.Crash_after (Prng.int rng 4)
+  | 2 -> Program.Drop (0.25 +. Prng.float rng 0.5)
+  | _ -> Program.Honest
+
+let random_inject rng ~fake =
+  match Prng.int rng 6 with
+  | 0 -> Program.Flip_value (fake rng)
+  | 1 -> Program.Forge_trail (fake rng)
+  | 2 -> Program.Lie_topology
+  | 3 -> Program.Phantom (fake rng)
+  | 4 -> Program.Forge_edges (fake rng)
+  | _ ->
+    Program.Spam
+      { spam_seed = Prng.int rng 1_000_000; rounds = 1 + Prng.int rng 4 }
+
+let random rng (inst : Instance.t) ~x_dealer ~x_fake =
+  let seed = Prng.int rng 1_073_741_823 in
+  let candidates =
+    List.filter_map
+      (fun z ->
+        let z = Nodeset.remove inst.receiver z in
+        if Nodeset.is_empty z then None else Some z)
+      (Instance.corruption_sets inst)
+  in
+  match candidates with
+  | [] -> Program.make ~seed []
+  | _ ->
+    let z = Prng.pick_list rng candidates in
+    (* usually the whole maximal set; sometimes a proper subset *)
+    let corrupted =
+      if Prng.int rng 3 = 0 then
+        let sub = Prng.sample rng z (1 + Prng.int rng (Nodeset.size z)) in
+        if Nodeset.is_empty sub then z else sub
+      else z
+    in
+    let fake rng =
+      match Prng.int rng 4 with
+      | 0 -> x_dealer (* echoing the truth stresses the path accounting *)
+      | 1 -> x_fake + 1
+      | _ -> x_fake
+    in
+    let nodes =
+      Nodeset.fold
+        (fun v acc ->
+          let base = random_base rng in
+          let injects =
+            List.init (Prng.int rng 3) (fun _ -> random_inject rng ~fake)
+          in
+          { Program.node = v; base; injects } :: acc)
+        corrupted []
+    in
+    Program.make ~seed nodes

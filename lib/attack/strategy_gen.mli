@@ -1,0 +1,46 @@
+(** Compiling and sampling attack programs.
+
+    [compile_*] turn a {!Program.t} into an executable strategy against a
+    concrete protocol.  Compilation is deterministic: all randomness
+    (dropping, spam) flows from PRNGs derived from the program's seed and
+    the acting node's id, so replaying the same program on the same
+    instance reproduces the identical run bit-for-bit.
+
+    Compiled strategies inherit the single-run discipline of
+    {!Rmt_net.Byzantine.mimic_honest}: compile a fresh strategy per
+    {!Rmt_net.Engine.run}.
+
+    [random] samples a seeded attack program whose corrupted set is an
+    admissible corruption set of the instance (a subset of a maximal set
+    avoiding dealer and receiver), so safety claims (Theorem 4) apply to
+    every generated program. *)
+
+open Rmt_base
+open Rmt_knowledge
+open Rmt_net
+open Rmt_core
+
+val compile_pka :
+  Program.t -> Instance.t -> x_dealer:int -> Rmt_pka.msg Engine.strategy
+(** Full vocabulary: every injection has its protocol-specific meaning
+    (type-1 value forgery, type-2 report forgery, fictitious nodes). *)
+
+val compile_ppa :
+  Program.t -> Instance.t -> x_dealer:int -> Rmt_protocols.Ppa.msg Engine.strategy
+(** PPA carries trails but no reports: the knowledge-layer injections
+    ({!Program.Lie_topology}) compile to nothing; {!Program.Phantom} and
+    {!Program.Forge_edges} compile to trails over invented nodes/edges. *)
+
+val compile_zcpa :
+  Program.t -> Instance.t -> x_dealer:int -> int Engine.strategy
+(** Bare-value protocol: trail/report injections degrade to pushing the
+    fake value. *)
+
+val random :
+  Prng.t -> Instance.t -> x_dealer:int -> x_fake:int -> Program.t
+(** One random attack program.  The corrupted set is drawn from the
+    instance's maximal admissible sets (minus the receiver); bases and
+    injections are sampled per node; fake values are drawn from
+    [{x_fake, x_fake+1, x_dealer}] so value collisions are probed too.
+    Returns a program with an empty node list when no admissible set
+    avoids the receiver. *)

@@ -313,6 +313,15 @@ let try_value rs info x =
           | None, false ->
             rs.truncated <- true;
             false
+          | None, true when
+              not (Connectivity.connected_avoiding gm rs.dealer rs.self
+                     Nodeset.empty) ->
+            (* Fullness is vacuous: G_M has no D–R path at all, so M
+               contains no type-1 message and determines no value.  The
+               FUZZ campaign found a spam program exploiting this — prune
+               every node on the forged value's trail and the cover search
+               has nothing left to certify (DESIGN.md §5). *)
+            false
           | None, true ->
             (* full: check for an adversary cover *)
             (match has_cover rs gm with

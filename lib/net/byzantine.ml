@@ -24,6 +24,12 @@ let mimic_states automaton =
         Hashtbl.replace states v st';
         sends @ sends'
       end
+    | Some _ when round = 0 ->
+      (* round 0 with state already present means a second Engine.run is
+         reusing this strategy; the stale state would silently replay *)
+      invalid_arg
+        "Byzantine.mimic_honest: strategy reused across runs (build a \
+         fresh strategy per Engine.run)"
     | Some st ->
       let st', sends = automaton.Engine.step v st ~round ~inbox in
       Hashtbl.replace states v st';

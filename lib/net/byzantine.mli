@@ -21,7 +21,10 @@ val mimic_honest : Nodeset.t -> ('s, 'm) Engine.automaton -> 'm t
     {b Single-run value:} the mimicked protocol state lives inside the
     strategy, so a value built with this (or any combinator derived from
     it — {!crash_after}, {!drop_randomly}, {!transform}) must be used for
-    exactly one {!Engine.run}; build a fresh strategy per run. *)
+    exactly one {!Engine.run}; build a fresh strategy per run.  Reuse is
+    detected — a second run's round 0 finding leftover state — and
+    @raise Invalid_argument rather than silently replaying stale
+    protocol state from the previous run. *)
 
 val crash_after : Nodeset.t -> ('s, 'm) Engine.automaton -> int -> 'm t
 (** Honest behavior through round [k], silence afterwards. *)

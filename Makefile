@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json fuzz fuzz-smoke bench-check outputs examples clean
+.PHONY: all build test lint lint-baseline bench bench-json fuzz fuzz-smoke bench-check outputs examples clean
 
 all: build
 
@@ -9,6 +9,19 @@ build:
 
 test:
 	dune runtest
+
+# Typedtree determinism & safety analysis over lib/ (rules R1-R5; run
+# `dune exec bin/rmt_lint.exe -- rules` for the catalog).  Fails on any
+# finding not pinned in lint-baseline.txt.
+lint:
+	dune build @check
+	dune exec bin/rmt_lint.exe -- check --baseline lint-baseline.txt
+
+# Regenerate the baseline, then edit the JUSTIFY placeholders by hand.
+lint-baseline:
+	dune build @check
+	dune exec bin/rmt_lint.exe -- check --baseline lint-baseline.txt \
+	  --update-baseline
 
 bench:
 	dune exec bench/main.exe

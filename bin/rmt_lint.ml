@@ -1,0 +1,137 @@
+(* rmt-lint — typedtree-based determinism & safety analyzer.
+
+   Subcommands:
+     check     (default) lint the repository's .cmt files
+     explain   print the rationale for one rule
+
+   The analyzer reads the typedtrees that `dune build @check` leaves
+   under _build/default and runs the five rules documented in
+   lib/lint/rules.mli (and DESIGN.md par.6).  Exit status: 0 when every
+   finding is pinned in the baseline, 1 on new findings, 2 on usage or
+   I/O errors.
+
+   Examples:
+     dune build @check && rmt_lint check --baseline lint-baseline.txt
+     rmt_lint check --json --out lint-report.json
+     rmt_lint explain R2 *)
+
+open Rmt_lint
+open Cmdliner
+
+let build_dir =
+  let doc = "Dune build context holding the .cmt files." in
+  Arg.(value & opt string "_build/default" & info [ "build-dir" ] ~doc)
+
+let dirs =
+  let doc =
+    "Source directories to lint (prefix match on the path recorded in \
+     each .cmt)."
+  in
+  Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"DIR" ~doc)
+
+let baseline =
+  let doc = "Baseline file of pinned findings (rule + fingerprint)." in
+  Arg.(
+    value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let json =
+  let doc = "Emit the report as JSON on stdout instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let out =
+  let doc = "Also write the JSON report to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let update_baseline =
+  let doc =
+    "Rewrite the --baseline file to pin exactly the current findings \
+     (JUSTIFY placeholders must then be filled in by hand)."
+  in
+  Arg.(value & flag & info [ "update-baseline" ] ~doc)
+
+let check_cmd build_dir dirs baseline json out update =
+  match Cmt_loader.scan ~build_dir ~dirs with
+  | Error e ->
+    prerr_endline ("rmt-lint: " ^ e);
+    2
+  | Ok units ->
+    let findings = Lint.analyze units in
+    (match (update, baseline) with
+     | true, None ->
+       prerr_endline "rmt-lint: --update-baseline requires --baseline";
+       2
+     | true, Some path ->
+       Baseline.save path findings;
+       Printf.printf "rmt-lint: wrote %d finding(s) to %s\n"
+         (List.length findings) path;
+       0
+     | false, _ ->
+       let entries =
+         match baseline with
+         | None -> Ok []
+         | Some path -> Baseline.load path
+       in
+       (match entries with
+        | Error e ->
+          prerr_endline ("rmt-lint: " ^ e);
+          2
+        | Ok entries ->
+          let report =
+            Lint.apply_baseline entries (List.length units) findings
+          in
+          (match out with
+           | None -> ()
+           | Some path ->
+             let oc = open_out path in
+             output_string oc (Lint.render_json report);
+             close_out oc);
+          if json then print_string (Lint.render_json report)
+          else print_string (Lint.render_text report);
+          if report.Lint.fresh = [] then 0 else 1))
+
+let explain_cmd rule =
+  match Rules.find rule with
+  | None ->
+    Printf.eprintf "rmt-lint: unknown rule %S; known rules: %s\n" rule
+      (String.concat ", " (List.map (fun m -> m.Rules.id) Rules.all));
+    2
+  | Some m ->
+    Printf.printf "%s (%s)\n  %s\n\n%s\n" m.Rules.id m.Rules.name
+      m.Rules.summary m.Rules.details;
+    0
+
+let check_term =
+  Term.(
+    const check_cmd $ build_dir $ dirs $ baseline $ json $ out
+    $ update_baseline)
+
+let check =
+  let doc = "lint the repository's typedtrees (the default command)" in
+  Cmd.v (Cmd.info "check" ~doc) check_term
+
+let explain =
+  let doc = "describe one rule and the invariant it protects" in
+  let rule =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RULE" ~doc:"Rule identifier, R1..R5.")
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const explain_cmd $ rule)
+
+let rules_cmd () =
+  List.iter
+    (fun m -> Printf.printf "%s  %-22s %s\n" m.Rules.id m.Rules.name m.Rules.summary)
+    Rules.all;
+  0
+
+let rules =
+  let doc = "list all rules" in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(const rules_cmd $ const ())
+
+let () =
+  let info =
+    Cmd.info "rmt_lint" ~version:"%%VERSION%%"
+      ~doc:"typedtree-based determinism & safety analyzer for the rmt tree"
+  in
+  exit (Cmd.eval' (Cmd.group ~default:check_term info [ check; explain; rules ]))

@@ -17,7 +17,8 @@ type t = {
 }
 
 let cmp_sized (s1, z1) (s2, z2) =
-  if s1 <> s2 then Stdlib.compare s1 s2 else Nodeset.compare z1 z2
+  let c = Int.compare s1 s2 in
+  if c <> 0 then c else Nodeset.compare z1 z2
 
 (* Sort by (size, compare), dedup, drop dominated sets.  Cross-bucket only:
    within a size bucket distinct sets never dominate each other, and a set

@@ -24,6 +24,12 @@ let verdict_to_string = function
   | Silenced -> "silenced"
   | Violated x -> Printf.sprintf "violated %d" x
 
+let verdict_equal a b =
+  match (a, b) with
+  | Delivered, Delivered | Silenced, Silenced -> true
+  | Violated x, Violated y -> x = y
+  | (Delivered | Silenced | Violated _), _ -> false
+
 type run_report = {
   program : Program.t;
   verdict : verdict;
@@ -56,7 +62,7 @@ let classify ~solvability ~admissible r =
   | Delivered -> Safe
   | Silenced ->
     if
-      solvability = Solvability.Solvable
+      Solvability.is_solvable solvability
       && admissible
       && not r.truncated
     then Liveness_lost

@@ -36,6 +36,10 @@ type verdict =
 
 val verdict_to_string : verdict -> string
 
+val verdict_equal : verdict -> verdict -> bool
+(** Constructor (and violated-value) equality; use instead of
+    polymorphic [=] (rmt-lint R1). *)
+
 type run_report = {
   program : Program.t;
   verdict : verdict;

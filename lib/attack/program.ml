@@ -26,7 +26,7 @@ type t = {
 }
 
 let make ~seed nodes =
-  let sorted = List.sort (fun a b -> compare a.node b.node) nodes in
+  let sorted = List.sort (fun a b -> Int.compare a.node b.node) nodes in
   let rec dedup = function
     | a :: (b :: _ as rest) when a.node = b.node -> a :: dedup (List.tl rest)
     | a :: rest -> a :: dedup rest
@@ -166,4 +166,29 @@ let pp ppf t =
     (Format.pp_print_list Format.pp_print_string)
     (to_lines t)
 
-let equal a b = a = b
+let base_equal a b =
+  match (a, b) with
+  | Honest, Honest | Silent, Silent -> true
+  | Crash_after j, Crash_after k -> j = k
+  | Drop p, Drop q -> Float.equal p q
+  | (Honest | Silent | Crash_after _ | Drop _), _ -> false
+
+let inject_equal a b =
+  match (a, b) with
+  | Flip_value x, Flip_value y
+  | Forge_trail x, Forge_trail y
+  | Phantom x, Phantom y
+  | Forge_edges x, Forge_edges y -> x = y
+  | Lie_topology, Lie_topology -> true
+  | Spam a, Spam b -> a.spam_seed = b.spam_seed && a.rounds = b.rounds
+  | ( ( Flip_value _ | Forge_trail _ | Lie_topology | Phantom _
+      | Forge_edges _ | Spam _ ),
+      _ ) -> false
+
+let node_program_equal a b =
+  a.node = b.node
+  && base_equal a.base b.base
+  && List.equal inject_equal a.injects b.injects
+
+let equal a b =
+  a.seed = b.seed && List.equal node_program_equal a.nodes b.nodes

@@ -82,4 +82,9 @@ val is_attack_line : string -> bool
 
 val pp : Format.formatter -> t -> unit
 
+val base_equal : base -> base -> bool
+val inject_equal : inject -> inject -> bool
+
 val equal : t -> t -> bool
+(** Structural equality, field by field; no polymorphic compare
+    (rmt-lint R1) so it stays exact under [Drop] float payloads. *)

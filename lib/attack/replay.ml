@@ -121,4 +121,6 @@ let replay ?max_messages ?max_lines t =
     ~x_dealer:t.x_dealer t.program
 
 let verdict_matches t (r : Campaign.run_report) =
-  match t.expected with None -> true | Some v -> v = r.Campaign.verdict
+  match t.expected with
+  | None -> true
+  | Some v -> Campaign.verdict_equal v r.Campaign.verdict

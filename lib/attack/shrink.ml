@@ -53,7 +53,7 @@ let candidates (inst : Instance.t) (p : Program.t) =
     Seq.filter_map
       (fun i ->
         let np = List.nth p.Program.nodes i in
-        if np.Program.base = Program.Silent then None
+        if Program.base_equal np.Program.base Program.Silent then None
         else
           let nodes =
             List.mapi

@@ -35,14 +35,20 @@ let percentile p xs =
     let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
     List.nth s (max 0 (min (n - 1) idx))
 
-let group_by key l =
+let group_by ~cmp key l =
   let tagged = List.map (fun x -> (key x, x)) l in
-  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) tagged in
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> cmp a b) tagged in
+  (* Equal keys are adjacent after the sort, so one linear pass groups
+     them — no polymorphic compare anywhere (rmt-lint R1). *)
   let rec go = function
     | [] -> []
     | (k, x) :: rest ->
-      let same, others = List.partition (fun (k', _) -> k' = k) rest in
-      (k, x :: List.map snd same) :: go others
+      let rec split acc = function
+        | (k', x') :: tl when cmp k' k = 0 -> split (x' :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let same, others = split [] rest in
+      (k, x :: same) :: go others
   in
   go sorted
 

@@ -19,9 +19,10 @@ val median : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] for [p] in [0,1], nearest-rank; 0. on empty. *)
 
-val group_by : ('a -> 'k) -> 'a list -> ('k * 'a list) list
-(** Groups adjacent-equal keys after a stable sort by key (polymorphic
-    compare); each key appears once. *)
+val group_by :
+  cmp:('k -> 'k -> int) -> ('a -> 'k) -> 'a list -> ('k * 'a list) list
+(** Groups adjacent-equal keys after a stable sort by key under [cmp];
+    each key appears once, groups in ascending key order. *)
 
 val time_it : (unit -> 'a) -> 'a * float
 (** Result and elapsed wall-clock seconds. *)

@@ -69,6 +69,8 @@ let clean_reports db =
     (fun _ versions acc ->
       match versions with [ r ] -> r :: acc | _ -> acc)
     db.versions []
+  |> List.sort (fun (a : Rmt_pka.report) (b : Rmt_pka.report) ->
+         Int.compare a.origin b.origin)
 
 let reported_nodes db =
   Hashtbl.fold (fun v _ acc -> Nodeset.add v acc) db.versions Nodeset.empty

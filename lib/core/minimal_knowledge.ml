@@ -13,7 +13,7 @@ let radius_frontier ?budget ~graph ~structure ~dealer ~receiver () =
 
 let minimal_radius ?budget ~graph ~structure ~dealer ~receiver () =
   List.find_map
-    (fun (k, f) -> if f = Solvability.Solvable then Some k else None)
+    (fun (k, f) -> if Solvability.is_solvable f then Some k else None)
     (radius_frontier ?budget ~graph ~structure ~dealer ~receiver ())
 
 let views_of_radii graph radii =
@@ -29,7 +29,7 @@ let greedy_minimal_views ?budget (inst : Instance.t) =
   let solvable radii =
     let view = views_of_radii graph radii in
     let inst' = Instance.with_view inst view in
-    Solvability.partial_knowledge ?budget inst' = Solvability.Solvable
+    Solvability.is_solvable (Solvability.partial_knowledge ?budget inst')
   in
   let full = List.map (fun v -> (v, diam)) nodes in
   if not (solvable full) then None

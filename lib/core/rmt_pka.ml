@@ -154,7 +154,7 @@ let ingest rs ~src (m : msg) =
 let conflict_branches rs =
   let entries =
     Hashtbl.fold (fun v versions acc -> (v, versions) :: acc) rs.reports []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   let cap = rs.budgets.conflict_branches in
   let branches = ref [ [] ] in
@@ -364,21 +364,23 @@ let try_value rs info x =
 let try_decide rs =
   if rs.decided = None then begin
     (* dealer propagation rule *)
+    (* Fold order over [rs.values] is seed-dependent; collect every
+       directly-trailed value and take the smallest so ties break the
+       same way on every run. *)
     let direct =
       Hashtbl.fold
         (fun x tbl acc ->
-          match acc with
-          | Some _ -> acc
-          | None ->
-            if Hashtbl.mem tbl [ rs.dealer; rs.self ] then Some x else None)
-        rs.values None
+          if Hashtbl.mem tbl [ rs.dealer; rs.self ] then x :: acc else acc)
+        rs.values []
+      |> List.sort Int.compare
     in
     match direct with
-    | Some x -> rs.decided <- Some x
-    | None ->
+    | x :: _ -> rs.decided <- Some x
+    | [] ->
       (* full message set propagation rule *)
       let xs =
-        Hashtbl.fold (fun x _ acc -> x :: acc) rs.values [] |> List.sort compare
+        Hashtbl.fold (fun x _ acc -> x :: acc) rs.values []
+        |> List.sort Int.compare
       in
       if xs <> [] then begin
         let branches = conflict_branches rs in

@@ -74,7 +74,13 @@ let rmt_pka_pi : pi =
 let decision_protocol ~pi ~structure_of ~dealer : Zcpa.decider =
   let (module P : PI) = pi in
   fun ~v classes ->
-    let classes = List.sort compare classes in
+    let classes =
+      List.sort
+        (fun (x1, s1) (x2, s2) ->
+          let c = Int.compare x1 x2 in
+          if c <> 0 then c else Rmt_base.Nodeset.compare s1 s2)
+        classes
+    in
     let middle =
       List.fold_left
         (fun acc (_, s) -> Nodeset.union acc s)

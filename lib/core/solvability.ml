@@ -6,6 +6,13 @@ type feasibility =
   | Unsolvable
   | Unknown
 
+let feasibility_equal a b =
+  match (a, b) with
+  | Solvable, Solvable | Unsolvable, Unsolvable | Unknown, Unknown -> true
+  | (Solvable | Unsolvable | Unknown), _ -> false
+
+let is_solvable f = feasibility_equal f Solvable
+
 let pp_feasibility ppf = function
   | Solvable -> Format.pp_print_string ppf "solvable"
   | Unsolvable -> Format.pp_print_string ppf "unsolvable"
@@ -43,7 +50,7 @@ let empty_probe =
   }
 
 let note probe ~corrupted ~label ~decided ~x_dealer ~truncated =
-  let correct = decided = Some x_dealer in
+  let correct = Option.equal Int.equal decided (Some x_dealer) in
   let wrong = decided <> None && not correct in
   {
     total_runs = probe.total_runs + 1;

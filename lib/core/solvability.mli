@@ -17,6 +17,12 @@ type feasibility =
 
 val pp_feasibility : Format.formatter -> feasibility -> unit
 
+val feasibility_equal : feasibility -> feasibility -> bool
+(** Constructor equality; use instead of polymorphic [=] (rmt-lint R1). *)
+
+val is_solvable : feasibility -> bool
+(** [is_solvable f] is [feasibility_equal f Solvable]. *)
+
 val partial_knowledge : ?budget:int -> Instance.t -> feasibility
 (** RMT-cut characterization (Theorems 3 + 5). *)
 

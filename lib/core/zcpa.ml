@@ -21,7 +21,11 @@ type decider = v:int -> (int * Nodeset.t) list -> int option
 let decider_of_oracle oracle ~v classes =
   List.find_map
     (fun (x, senders) -> if oracle ~v senders then Some x else None)
-    (List.sort compare classes)
+    (List.sort
+       (fun (x1, s1) (x2, s2) ->
+         let c = Int.compare x1 x2 in
+         if c <> 0 then c else Nodeset.compare s1 s2)
+       classes)
 
 type role =
   | Dealer
@@ -82,6 +86,7 @@ let automaton ?(forward_all = false) ~decider (inst : Instance.t) ~x_dealer =
            (* rule 2: certified propagation via the subroutine *)
            let classes =
              Hashtbl.fold (fun x s acc -> (x, s) :: acc) p.senders []
+             |> List.sort (fun (x1, _) (x2, _) -> Int.compare x1 x2)
            in
            if classes <> [] then p.decided <- decider ~v:p.self classes);
         (* rule 3: forward on decision (in the RMT adaptation the

@@ -63,7 +63,9 @@ let distances_from g src =
         (Graph.neighbors v g)
     done;
     Hashtbl.fold (fun v d acc -> (v, d) :: acc) dist []
-    |> List.sort compare
+    |> List.sort (fun (v1, d1) (v2, d2) ->
+           let c = Int.compare v1 v2 in
+           if c <> 0 then c else Int.compare d1 d2)
   end
 
 let distance g s t =

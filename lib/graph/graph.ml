@@ -82,7 +82,9 @@ let edges g =
         (fun u acc -> if v < u then (v, u) :: acc else acc)
         (neighbors v g) acc)
     g.nodes []
-  |> List.sort compare
+  |> List.sort (fun (a1, b1) (a2, b2) ->
+         let c = Int.compare a1 a2 in
+         if c <> 0 then c else Int.compare b1 b2)
 
 let equal g h =
   Nodeset.equal g.nodes h.nodes

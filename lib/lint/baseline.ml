@@ -1,0 +1,86 @@
+type entry = {
+  rule : string;
+  fingerprint : string;
+  file : string;
+  justification : string;
+}
+
+let parse_line line =
+  let stripped = String.trim line in
+  if stripped = "" || stripped.[0] = '#' then Ok None
+  else begin
+    let body, justification =
+      match String.index_opt stripped '#' with
+      | None -> (stripped, "")
+      | Some i ->
+        ( String.trim (String.sub stripped 0 i),
+          String.trim
+            (String.sub stripped (i + 1) (String.length stripped - i - 1)) )
+    in
+    match
+      String.split_on_char ' ' body |> List.filter (fun s -> s <> "")
+    with
+    | [ rule; fingerprint; file ] ->
+      Ok (Some { rule; fingerprint; file; justification })
+    | _ ->
+      Error
+        (Printf.sprintf "expected '<rule> <fingerprint> <file> # why': %S"
+           stripped)
+  end
+
+let load path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "baseline file %s does not exist" path)
+  else begin
+    let ic = open_in path in
+    let rec go n acc =
+      match input_line ic with
+      | exception End_of_file -> Ok (List.rev acc)
+      | line ->
+        (match parse_line line with
+         | Ok None -> go (n + 1) acc
+         | Ok (Some e) -> go (n + 1) (e :: acc)
+         | Error e -> Error (Printf.sprintf "%s:%d: %s" path n e))
+    in
+    let r = go 1 [] in
+    close_in ic;
+    r
+  end
+
+let save path findings =
+  let oc = open_out path in
+  output_string oc
+    "# rmt-lint baseline: pinned findings, one per line.\n\
+     # Format: <rule> <fingerprint> <file> # justification\n\
+     # Regenerate with `make lint-baseline`, then replace every JUSTIFY\n\
+     # placeholder with an argument for why the finding is acceptable.\n";
+  (* Fingerprints hash (rule, file, context, message), so several
+     findings — e.g. two calls on adjacent lines of one function — can
+     share one; a single entry suppresses them all.  Emit each once. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let fp = Finding.fingerprint f in
+      if not (Hashtbl.mem seen (f.Finding.rule, fp)) then begin
+        Hashtbl.add seen (f.Finding.rule, fp) ();
+        output_string oc
+          (Printf.sprintf "%s %s %s # JUSTIFY: %s\n" f.Finding.rule fp
+             f.Finding.file f.Finding.message)
+      end)
+    (List.sort Finding.compare findings);
+  close_out oc
+
+let partition entries findings =
+  let matches f e =
+    String.equal e.rule f.Finding.rule
+    && String.equal e.fingerprint (Finding.fingerprint f)
+  in
+  let fresh =
+    List.filter (fun f -> not (List.exists (matches f) entries)) findings
+  in
+  let stale =
+    List.filter
+      (fun e -> not (List.exists (fun f -> matches f e) findings))
+      entries
+  in
+  (fresh, stale)

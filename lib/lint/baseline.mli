@@ -1,0 +1,36 @@
+(** Baseline (suppression) files for {!Rules} findings.
+
+    A baseline pins known, justified findings so that the linter only
+    fails on {e new} ones.  The format is line-oriented text, designed to
+    be reviewed in diffs:
+
+    {v
+    # comment
+    <rule> <fingerprint> <file> # justification
+    v}
+
+    The fingerprint is {!Finding.fingerprint} — stable under line drift —
+    and the file path is informational (matching is by rule +
+    fingerprint).  Every entry should carry a justification; [save]
+    writes a [JUSTIFY:] placeholder that a reviewer is expected to
+    replace. *)
+
+type entry = {
+  rule : string;
+  fingerprint : string;
+  file : string;
+  justification : string;
+}
+
+val load : string -> (entry list, string) result
+(** Parse a baseline file.  A missing file is an error; an empty or
+    comment-only file is [Ok []]. *)
+
+val save : string -> Finding.t list -> unit
+(** Write a baseline pinning exactly [findings], preserving nothing from
+    any previous file.  New entries get a [JUSTIFY: ...] placeholder. *)
+
+val partition :
+  entry list -> Finding.t list -> Finding.t list * entry list
+(** [partition entries findings] is [(fresh, stale)]: the findings not
+    pinned by any entry, and the entries matching no current finding. *)

@@ -1,0 +1,72 @@
+type unit_info = {
+  cmt_path : string;
+  source : string;
+  has_mli : bool;
+  structure : Typedtree.structure;
+}
+
+let read_cmt cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception exn ->
+    Error
+      (Printf.sprintf "cannot read %s: %s" cmt_path (Printexc.to_string exn))
+  | infos ->
+    (match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
+     | Cmt_format.Implementation str, Some source
+       when Filename.check_suffix source ".ml" ->
+       let cmti = Filename.remove_extension cmt_path ^ ".cmti" in
+       Ok
+         (Some
+            {
+              cmt_path;
+              source;
+              has_mli = Sys.file_exists cmti;
+              structure = str;
+            })
+     | _ -> Ok None)
+
+let under_one_of dirs source =
+  List.exists
+    (fun d ->
+      let d =
+        if String.length d > 0 && d.[String.length d - 1] = '/' then d
+        else d ^ "/"
+      in
+      String.starts_with ~prefix:d source)
+    dirs
+
+let scan ~build_dir ~dirs =
+  if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then
+    Error
+      (Printf.sprintf
+         "build directory %s not found; run `dune build @check` first"
+         build_dir)
+  else begin
+    let units = ref [] in
+    let errors = ref [] in
+    let rec walk dir =
+      match Sys.readdir dir with
+      | exception Sys_error _ -> ()
+      | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat dir entry in
+            if Sys.is_directory path then walk path
+            else if Filename.check_suffix path ".cmt" then
+              match read_cmt path with
+              | Ok (Some u) when under_one_of dirs u.source ->
+                units := u :: !units
+              | Ok _ -> ()
+              | Error e -> errors := e :: !errors)
+          entries
+    in
+    walk build_dir;
+    match !errors with
+    | e :: _ -> Error e
+    | [] ->
+      Ok
+        (List.sort
+           (fun a b -> String.compare a.source b.source)
+           !units)
+  end

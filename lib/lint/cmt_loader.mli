@@ -1,0 +1,29 @@
+(** Locating and reading [.cmt] typedtree files out of dune's build tree.
+
+    [dune build \@check] leaves one [.cmt] per implementation under
+    [_build/default/**/.<lib>.objs/byte/].  The loader walks a build
+    directory, reads every [.cmt], and keeps the implementation units
+    whose recorded source path falls under one of the requested source
+    directories — skipping dune-generated module-alias units
+    ([*.ml-gen]).  The companion [.cmti] presence is recorded so the R5
+    missing-interface check needs no second pass. *)
+
+type unit_info = {
+  cmt_path : string;  (** absolute-ish path to the [.cmt] *)
+  source : string;  (** source path recorded at compile time *)
+  has_mli : bool;  (** a companion [.cmti] sits next to the [.cmt] *)
+  structure : Typedtree.structure;
+}
+
+val read_cmt : string -> (unit_info option, string) result
+(** Read one [.cmt].  [Ok None] for interface / packed / generated units;
+    [Error _] when the file cannot be parsed (version mismatch, not a
+    cmt). *)
+
+val scan :
+  build_dir:string -> dirs:string list -> (unit_info list, string) result
+(** [scan ~build_dir ~dirs] walks [build_dir] recursively and returns
+    every implementation unit whose source lives under one of [dirs]
+    (path-prefix match on the recorded source path), sorted by source
+    path.  Fails when [build_dir] does not exist — run
+    [dune build \@check] first. *)

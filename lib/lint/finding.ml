@@ -1,0 +1,62 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  context : string;
+  message : string;
+}
+
+let make ~rule ~file ?(line = 0) ?(col = 0) ?(context = "module") message =
+  { rule; file; line; col; context; message }
+
+let fingerprint t =
+  let key =
+    String.concat "|" [ t.rule; t.file; t.context; t.message ]
+  in
+  String.sub (Digest.to_hex (Digest.string key)) 0 12
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_text t =
+  Printf.sprintf "%s:%d:%d: [%s] %s  (in %s)" t.file t.line t.col t.rule
+    t.message t.context
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\
+     \"context\":\"%s\",\"fingerprint\":\"%s\",\"message\":\"%s\"}"
+    (json_escape t.rule) (json_escape t.file) t.line t.col
+    (json_escape t.context) (fingerprint t) (json_escape t.message)
+
+let list_to_json ts =
+  match ts with
+  | [] -> "[]"
+  | ts ->
+    "[\n  " ^ String.concat ",\n  " (List.map to_json ts) ^ "\n]"

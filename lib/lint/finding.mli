@@ -1,0 +1,42 @@
+(** A single static-analysis finding.
+
+    Findings are value types: the rule that fired, where it fired, the
+    nearest enclosing top-level binding (the [context], used to keep
+    baseline fingerprints stable under line drift), and a human-readable
+    message.  The {!fingerprint} is what baseline files record: it hashes
+    the rule, file, context and message — but {e not} the line number — so
+    unrelated edits above a pinned finding do not invalidate the pin. *)
+
+type t = {
+  rule : string;  (** rule identifier, ["R1"] .. ["R5"] *)
+  file : string;  (** source path as recorded in the [.cmt] *)
+  line : int;
+  col : int;
+  context : string;  (** enclosing top-level binding, or ["module"] *)
+  message : string;
+}
+
+val make :
+  rule:string ->
+  file:string ->
+  ?line:int ->
+  ?col:int ->
+  ?context:string ->
+  string ->
+  t
+
+val fingerprint : t -> string
+(** 12 hex characters, stable across pure line moves (derived from rule,
+    file, context and message only). *)
+
+val compare : t -> t -> int
+(** Order by (file, line, col, rule, message): report order. *)
+
+val to_text : t -> string
+(** [file:line:col: [rule] message  (in context)] — one line. *)
+
+val to_json : t -> string
+(** A self-contained JSON object (no trailing newline). *)
+
+val list_to_json : t list -> string
+(** JSON array of {!to_json} objects, one per line. *)

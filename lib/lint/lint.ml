@@ -1,0 +1,65 @@
+type report = {
+  scanned : int;
+  findings : Finding.t list;
+  fresh : Finding.t list;
+  stale : Baseline.entry list;
+}
+
+let analyze ?(require_mli = true) units =
+  let per_unit (u : Cmt_loader.unit_info) =
+    let structural =
+      Rules.check_structure ~file:u.Cmt_loader.source u.Cmt_loader.structure
+    in
+    if require_mli && not u.Cmt_loader.has_mli then
+      Finding.make ~rule:"R5" ~file:u.Cmt_loader.source
+        "module has no .mli interface; determinism contracts must be \
+         documented and representations kept private"
+      :: structural
+    else structural
+  in
+  List.concat_map per_unit units |> List.sort Finding.compare
+
+let apply_baseline entries scanned findings =
+  let fresh, stale = Baseline.partition entries findings in
+  { scanned; findings; fresh; stale }
+
+let render_text r =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun f -> Buffer.add_string buf (Finding.to_text f ^ "\n"))
+    r.fresh;
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "warning: stale baseline entry %s %s %s (no matching finding; \
+            remove it)\n"
+           e.rule e.fingerprint e.file))
+    r.stale;
+  let baselined = List.length r.findings - List.length r.fresh in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "rmt-lint: %d unit(s) scanned, %d finding(s) (%d baselined, %d new)\n"
+       r.scanned
+       (List.length r.findings)
+       baselined
+       (List.length r.fresh));
+  Buffer.contents buf
+
+let render_json r =
+  let stale_json (e : Baseline.entry) =
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"fingerprint\":\"%s\",\"file\":\"%s\"}" e.rule
+      e.fingerprint e.file
+  in
+  Printf.sprintf
+    "{\n\
+     \  \"scanned\": %d,\n\
+     \  \"findings\": %s,\n\
+     \  \"fresh\": %s,\n\
+     \  \"stale_baseline\": [%s]\n\
+     }\n"
+    r.scanned
+    (Finding.list_to_json r.findings)
+    (Finding.list_to_json r.fresh)
+    (String.concat ", " (List.map stale_json r.stale))

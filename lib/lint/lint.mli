@@ -1,0 +1,31 @@
+(** The rmt-lint driver: rules over compilation units, baseline
+    filtering, rendering.
+
+    This is the layer both the [rmt_lint] executable and the fixture
+    tests call: {!analyze} runs the typedtree rules of {!Rules} plus the
+    filesystem half of R5 (missing [.mli]) over loaded units, and
+    {!apply_baseline} splits the result against a suppression file. *)
+
+type report = {
+  scanned : int;  (** number of compilation units analyzed *)
+  findings : Finding.t list;  (** every finding, baselined or not *)
+  fresh : Finding.t list;  (** findings not pinned in the baseline *)
+  stale : Baseline.entry list;
+      (** baseline entries matching no current finding *)
+}
+
+val analyze :
+  ?require_mli:bool -> Cmt_loader.unit_info list -> Finding.t list
+(** Run all rules.  [require_mli] (default [true]) controls the
+    missing-interface half of R5. *)
+
+val apply_baseline : Baseline.entry list -> int -> Finding.t list -> report
+(** [apply_baseline entries scanned findings] builds the final report. *)
+
+val render_text : report -> string
+(** Human-readable report: fresh findings, stale-entry warnings, and a
+    one-line verdict. *)
+
+val render_json : report -> string
+(** Machine-readable report for the CI artifact: scanned count, every
+    finding with its fingerprint, the fresh subset, stale entries. *)

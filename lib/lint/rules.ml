@@ -1,0 +1,343 @@
+open Typedtree
+
+type meta = {
+  id : string;
+  name : string;
+  summary : string;
+  details : string;
+}
+
+let all =
+  [
+    {
+      id = "R1";
+      name = "poly-compare";
+      summary =
+        "polymorphic compare/=/<>/min/max/Hashtbl.hash at a non-base type";
+      details =
+        "Polymorphic structural comparison is instantiated at a record,\n\
+         abstract or type-variable type.  The repository defines dedicated\n\
+         comparators (Nodeset.compare, Structure.equal, Graph.equal, ...)\n\
+         whose orderings the rest of the machinery treats as canonical;\n\
+         Stdlib.compare on the underlying representation can disagree with\n\
+         them (and crashes on functional components), so a polymorphic\n\
+         instantiation silently forks the notion of equality the replay\n\
+         and sweep layers rely on.  Fix: compare explicit fields with\n\
+         Int.compare / String.compare / Nodeset.compare, or pass a ~cmp\n\
+         argument.  Comparisons against the constant constructors [] and\n\
+         None only inspect the tag and are exempt.";
+    };
+    {
+      id = "R2";
+      name = "iteration-order-leak";
+      summary = "Hashtbl.fold builds a list that escapes unsorted";
+      details =
+        "A Hashtbl.fold application produces a list without a dominating\n\
+         List.sort / List.stable_sort / List.sort_uniq / Nodeset.of_list\n\
+         normalization.  Hash-bucket order depends on the table's seed\n\
+         and insertion history: under OCAMLRUNPARAM=R (or a different\n\
+         OCaml release) the list order changes, so any simulator\n\
+         transcript, decision tie-break or serialized artifact derived\n\
+         from it stops being reproducible, which breaks seeded attack\n\
+         replay (DESIGN.md par.5) and the Parsweep determinism contract.\n\
+         Fix: sort by an explicit key right at the fold, or accumulate\n\
+         into a Nodeset / sorted structure instead of a list.";
+    };
+    {
+      id = "R3";
+      name = "nondeterminism-source";
+      summary =
+        "Stdlib.Random / Sys.time / Unix.gettimeofday outside prng.ml and \
+         bench/";
+      details =
+        "Every random draw in the repository must flow through the seeded\n\
+         splitmix64 generator in lib/base/prng.ml so that experiments and\n\
+         attack campaigns replay bit-for-bit from their recorded seed.\n\
+         Stdlib.Random has ambient global state, and wall-clock reads\n\
+         (Sys.time, Unix.gettimeofday, Unix.time) leak scheduling noise\n\
+         into values.  Only lib/base/prng.ml (the sanctioned generator)\n\
+         and bench/ (which measures wall-clock on purpose) are exempt.\n\
+         Fix: thread a Prng.t, or move timing into the bench layer.";
+    };
+    {
+      id = "R4";
+      name = "domain-unsafe-state";
+      summary = "top-level mutable state shared across Domain fan-out";
+      details =
+        "A module-level let binds a mutable container (ref, Hashtbl.t,\n\
+         Buffer.t, Queue.t, Stack.t, bytes, array, or a record literal\n\
+         with mutable fields).  Parsweep.map and the Campaign runner fan\n\
+         work out to OCaml 5 Domains; any function they call shares\n\
+         module-level state across domains without synchronization, which\n\
+         is a data race and makes sweep results depend on scheduling.\n\
+         Fix: allocate the state inside the function, thread it through\n\
+         arguments, or use Atomic.t / Domain.DLS for genuinely global\n\
+         counters.";
+    };
+    {
+      id = "R5";
+      name = "interface-hygiene";
+      summary = "missing .mli or use of Obj.magic";
+      details =
+        "Every module under lib/ must publish an interface: the .mli is\n\
+         where determinism contracts (iteration order, identity\n\
+         guarantees, single-use strategies) are documented, and an\n\
+         unconstrained module leaks representation details that the\n\
+         packed-structure and replay layers must be free to change.\n\
+         Obj.magic (and Obj.repr/Obj.obj) defeats the type system and\n\
+         with it every guarantee the other rules check.  Fix: add the\n\
+         .mli; delete the Obj use.";
+    };
+  ]
+
+let find id =
+  let id = String.uppercase_ascii (String.trim id) in
+  List.find_opt (fun m -> String.equal m.id id) all
+
+(* ------------------------------------------------------------------ *)
+(* Name and type helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let strip_stdlib name =
+  if String.length name > 7 && String.equal (String.sub name 0 7) "Stdlib."
+  then String.sub name 7 (String.length name - 7)
+  else name
+
+let path_name p = strip_stdlib (Path.name p)
+
+(* [Hashtbl.fold] should also match [Stdlib.Hashtbl.fold] (stripped) and
+   re-exports like [Rmt_base.Nodeset.of_list]; a bare suffix like
+   [compare] must NOT match [Nodeset.compare], so exact names get no
+   suffix matching. *)
+let qualified_matches candidates name =
+  List.exists
+    (fun m ->
+      String.equal name m || String.ends_with ~suffix:("." ^ m) name)
+    candidates
+
+let poly_ops =
+  [ "compare"; "="; "<>"; "<"; ">"; "<="; ">="; "min"; "max" ]
+
+let is_poly_op name =
+  List.exists (String.equal name) poly_ops
+  || qualified_matches [ "Hashtbl.hash"; "Hashtbl.seeded_hash" ] name
+
+let is_sorter_name =
+  qualified_matches
+    [
+      "List.sort";
+      "List.stable_sort";
+      "List.fast_sort";
+      "List.sort_uniq";
+      "Nodeset.of_list";
+      "Nodeset.of_array";
+    ]
+
+let is_hashtbl_fold = qualified_matches [ "Hashtbl.fold" ]
+let is_pipe name = String.equal name "|>"
+let is_apply_op name = String.equal name "@@"
+
+let is_forbidden_random name =
+  String.equal name "Random"
+  || String.starts_with ~prefix:"Random." name
+  || qualified_matches [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ] name
+
+let is_obj_magic = qualified_matches [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]
+
+let r3_exempt file =
+  String.ends_with ~suffix:"lib/base/prng.ml" file
+  || String.equal file "prng.ml"
+  || String.starts_with ~prefix:"bench/" file
+
+let rec type_is_base ty =
+  match Types.get_desc ty with
+  | Ttuple tys -> List.for_all type_is_base tys
+  | Tconstr (p, args, _) ->
+    (match path_name p with
+     | "int" | "char" | "bool" | "string" | "float" | "unit" | "int32"
+     | "int64" | "nativeint" -> true
+     | "list" | "option" | "array" | "ref" -> List.for_all type_is_base args
+     | _ -> false)
+  | Tpoly (ty, _) -> type_is_base ty
+  | _ -> false
+
+let type_is_list ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> String.equal (path_name p) "list"
+  | _ -> false
+
+let show_type ty =
+  match Format.asprintf "%a" Printtyp.type_expr ty with
+  | s -> s
+  | exception _ -> "<unprintable>"
+
+let first_arg_type ty =
+  match Types.get_desc ty with Tarrow (_, a, _, _) -> Some a | _ -> None
+
+let mutable_container ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) ->
+    let n = path_name p in
+    if String.equal n "ref" || String.equal n "array" || String.equal n "bytes"
+    then Some n
+    else if
+      qualified_matches
+        [ "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t"; "Dynarray.t" ]
+        n
+    then Some n
+    else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The traversal                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_structure ~file str =
+  let findings = ref [] in
+  let context = ref "module" in
+  let sorted_depth = ref 0 in
+  (* ident occurrences already judged from their application site *)
+  let handled : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let key (loc : Location.t) =
+    (loc.loc_start.Lexing.pos_lnum, loc.loc_start.Lexing.pos_cnum)
+  in
+  let add ~loc rule message =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    let col =
+      loc.Location.loc_start.Lexing.pos_cnum
+      - loc.Location.loc_start.Lexing.pos_bol
+    in
+    findings :=
+      Finding.make ~rule ~file ~line ~col ~context:!context message
+      :: !findings
+  in
+  let ident_name e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> Some (path_name p)
+    | _ -> None
+  in
+  let rec expr_is_sorter e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> is_sorter_name (path_name p)
+    | Texp_apply (fn, _) -> expr_is_sorter fn
+    | _ -> false
+  in
+  let is_const_ctor e =
+    match e.exp_desc with
+    | Texp_construct (_, cd, []) ->
+      String.equal cd.Types.cstr_name "[]"
+      || String.equal cd.Types.cstr_name "None"
+    | _ -> false
+  in
+  let judge_poly ~loc name ty =
+    match first_arg_type ty with
+    | Some arg when not (type_is_base arg) ->
+      add ~loc "R1"
+        (Printf.sprintf
+           "polymorphic %s instantiated at non-base type `%s'; use a \
+            dedicated comparator"
+           name (show_type arg))
+    | Some _ | None -> ()
+  in
+  let on_ident e name =
+    if is_poly_op name && not (Hashtbl.mem handled (key e.exp_loc)) then begin
+      Hashtbl.replace handled (key e.exp_loc) ();
+      judge_poly ~loc:e.exp_loc name e.exp_type
+    end;
+    if is_forbidden_random name && not (r3_exempt file) then
+      add ~loc:e.exp_loc "R3"
+        (Printf.sprintf
+           "forbidden nondeterminism source %s; thread a seeded Prng.t \
+            (lib/base/prng.ml) instead"
+           name);
+    if is_obj_magic name then
+      add ~loc:e.exp_loc "R5" (Printf.sprintf "use of %s" name)
+  in
+  let default = Tast_iterator.default_iterator in
+  let expr (sub : Tast_iterator.iterator) e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+      on_ident e (path_name p);
+      default.expr sub e
+    | Texp_apply (fn, args) ->
+      let actuals = List.filter_map (fun (_, a) -> a) args in
+      let fname = ident_name fn in
+      (match fname with
+       | Some n when is_poly_op n ->
+         Hashtbl.replace handled (key fn.exp_loc) ();
+         if not (List.exists is_const_ctor actuals) then
+           judge_poly ~loc:fn.exp_loc n fn.exp_type
+       | _ -> ());
+      (match fname with
+       | Some n
+         when is_hashtbl_fold n && type_is_list e.exp_type
+              && !sorted_depth = 0 ->
+         add ~loc:e.exp_loc "R2"
+           "Hashtbl.fold builds a list in hash-bucket order with no \
+            dominating sort/normalization; sort by an explicit key or \
+            accumulate into a Nodeset"
+       | _ -> ());
+      let in_sorted f =
+        incr sorted_depth;
+        Fun.protect ~finally:(fun () -> decr sorted_depth) f
+      in
+      (match (fname, args) with
+       | Some n, [ (_, Some arg); (_, Some f) ]
+         when is_pipe n && expr_is_sorter f ->
+         sub.expr sub f;
+         in_sorted (fun () -> sub.expr sub arg)
+       | Some n, [ (_, Some f); (_, Some arg) ]
+         when is_apply_op n && expr_is_sorter f ->
+         sub.expr sub f;
+         in_sorted (fun () -> sub.expr sub arg)
+       (* [x |> f] and [f @@ x] are rewritten by the typechecker into
+          [Texp_apply (f, [x])] with a non-ident [f]; [expr_is_sorter]
+          chases the application spine, so this one case covers direct,
+          piped and partially-applied sorts alike. *)
+       | _, _ when expr_is_sorter fn ->
+         sub.expr sub fn;
+         in_sorted (fun () -> List.iter (sub.expr sub) actuals)
+       | _ ->
+         sub.expr sub fn;
+         List.iter (sub.expr sub) actuals)
+    | _ -> default.expr sub e
+  in
+  let record_with_mutable_field e =
+    match e.exp_desc with
+    | Texp_record { fields; _ } ->
+      Array.exists
+        (fun (ld, _) ->
+          match ld.Types.lbl_mut with
+          | Asttypes.Mutable -> true
+          | Asttypes.Immutable -> false)
+        fields
+    | _ -> false
+  in
+  let structure_item (sub : Tast_iterator.iterator) item =
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          (match pat_bound_idents vb.vb_pat with
+           | id :: _ -> context := Ident.name id
+           | [] -> context := "pattern");
+          (match mutable_container vb.vb_expr.exp_type with
+           | Some what ->
+             add ~loc:vb.vb_loc "R4"
+               (Printf.sprintf
+                  "top-level mutable state (%s) is shared across Domain \
+                   fan-out; allocate per call or use Atomic"
+                  what)
+           | None ->
+             if record_with_mutable_field vb.vb_expr then
+               add ~loc:vb.vb_loc "R4"
+                 "top-level record with mutable fields is shared across \
+                  Domain fan-out; allocate per call or use Atomic");
+          sub.expr sub vb.vb_expr)
+        vbs;
+      context := "module"
+    | _ -> default.structure_item sub item
+  in
+  let iterator = { default with expr; structure_item } in
+  iterator.structure iterator str;
+  List.sort Finding.compare !findings

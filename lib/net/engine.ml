@@ -166,7 +166,9 @@ let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
     decisions;
     decision_rounds =
       Hashtbl.fold (fun v r acc -> (v, r) :: acc) decision_rounds []
-      |> List.sort compare;
+      |> List.sort (fun (v1, r1) (v2, r2) ->
+             let c = Int.compare v1 v2 in
+             if c <> 0 then c else Int.compare r1 r2);
     states =
       Nodeset.fold (fun v acc -> (v, Hashtbl.find states v) :: acc) honest []
       |> List.rev;

@@ -20,7 +20,9 @@ let num_deliveries t = List.length t.events
 let render ?(max_lines = 200) t =
   let buf = Buffer.create 512 in
   let by_round =
-    Rmt_base.Util.group_by (fun (r, _, _, _) -> r) (deliveries t)
+    Rmt_base.Util.group_by ~cmp:Int.compare
+      (fun (r, _, _, _) -> r)
+      (deliveries t)
   in
   let lines = ref 0 in
   List.iter

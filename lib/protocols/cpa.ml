@@ -54,7 +54,7 @@ let automaton g ~dealer ~receiver ~t ~x_dealer =
              inbox;
            let xs =
              Hashtbl.fold (fun x _ acc -> x :: acc) p.senders []
-             |> List.sort compare
+             |> List.sort Int.compare
            in
            List.iter
              (fun x ->

@@ -25,11 +25,11 @@ let routes g ~dealer ~receiver =
 
 (* position-based forwarding: find v's predecessor and successor in the
    route *)
-let rec hop_after v = function
+let rec hop_after (v : int) = function
   | a :: (b :: _ as rest) -> if a = v then Some b else hop_after v rest
   | _ -> None
 
-let rec hop_before v = function
+let rec hop_before (v : int) = function
   | a :: (b :: _ as rest) -> if b = v then Some a else hop_before v rest
   | _ -> None
 
@@ -104,7 +104,7 @@ let automaton g ~dealer ~receiver ~x_dealer =
       List.iter
         (fun (src, (m : msg)) ->
           if
-            List.exists (fun r -> r = m.trail) rs.known
+            List.exists (fun r -> List.equal Int.equal r m.trail) rs.known
             && hop_before v m.trail = Some src
             && not (Hashtbl.mem rs.votes m.trail)
           then Hashtbl.replace rs.votes m.trail m.payload)

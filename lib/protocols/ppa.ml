@@ -34,7 +34,8 @@ let uncoverable structure interiors =
 let try_decide rs =
   if rs.decided = None then begin
     let xs =
-      Hashtbl.fold (fun x _ acc -> x :: acc) rs.paths [] |> List.sort compare
+      Hashtbl.fold (fun x _ acc -> x :: acc) rs.paths []
+      |> List.sort Int.compare
     in
     List.iter
       (fun x ->

@@ -1,0 +1,80 @@
+(* The fuzz campaign's pinned reproducer (the vacuous-fullness regression,
+   see test_attack.ml and DESIGN.md §5) replayed twice in one process
+   under OCAMLRUNPARAM=R: every hash table draws a different random seed
+   on each replay, so the two delivery traces are byte-identical only if
+   no decision or trace path depends on table iteration order. *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_attack
+
+let ns = Nodeset.of_list
+
+let () =
+  match Sys.getenv_opt "OCAMLRUNPARAM" with
+  | Some p when String.exists (fun c -> c = 'R') p -> ()
+  | _ ->
+    prerr_endline
+      "test_replay_determinism: OCAMLRUNPARAM must contain R (run via dune)";
+    exit 1
+
+let pinned_reproducer () =
+  let g =
+    Graph.of_edges
+      [
+        (0, 1); (0, 4); (1, 2); (1, 5); (2, 3); (2, 6); (3, 7); (4, 5);
+        (4, 8); (5, 6); (5, 9); (6, 7); (6, 10); (7, 11); (8, 9); (9, 10);
+        (10, 11);
+      ]
+  in
+  let ground = ns [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ] in
+  let structure =
+    Structure.of_sets ~ground [ ns [ 5 ]; ns [ 6 ]; ns [ 7; 8 ] ]
+  in
+  let inst =
+    Instance.make ~graph:g ~structure ~view:(View.radius 2 g) ~dealer:0
+      ~receiver:11
+  in
+  let p =
+    Program.make ~seed:869326885
+      [
+        {
+          Program.node = 7;
+          base = Program.Silent;
+          injects = [ Program.Spam { spam_seed = 421277; rounds = 4 } ];
+        };
+      ]
+  in
+  Replay.make ~expected:Campaign.Delivered ~protocol:Campaign.Pka ~x_dealer:42
+    inst p
+
+let () =
+  let repro = pinned_reproducer () in
+  let r1, t1 = Replay.replay repro in
+  let r2, t2 = Replay.replay repro in
+  if not (Replay.verdict_matches repro r1) then begin
+    Printf.eprintf "first replay verdict drifted: %s\n"
+      (Campaign.verdict_to_string r1.Campaign.verdict);
+    exit 1
+  end;
+  if not (Campaign.verdict_equal r1.Campaign.verdict r2.Campaign.verdict)
+  then begin
+    Printf.eprintf "replay verdicts diverge: %s vs %s\n"
+      (Campaign.verdict_to_string r1.Campaign.verdict)
+      (Campaign.verdict_to_string r2.Campaign.verdict);
+    exit 1
+  end;
+  if not (String.equal t1 t2) then begin
+    prerr_endline "replay traces diverge under randomized hashtable seeds:";
+    prerr_endline "--- first ---";
+    prerr_endline t1;
+    prerr_endline "--- second ---";
+    prerr_endline t2;
+    exit 1
+  end;
+  Printf.printf
+    "pinned reproducer: byte-identical trace (%d deliveries rendered) on \
+     both replays\n"
+    (List.length (String.split_on_char '\n' t1))

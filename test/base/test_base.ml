@@ -232,7 +232,9 @@ let test_util_lists () =
   check_int "sum_by" 6 (Util.sum_by Fun.id [ 1; 2; 3 ])
 
 let test_util_group_by () =
-  let groups = Util.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  let groups =
+    Util.group_by ~cmp:Int.compare (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ]
+  in
   check_int "two groups" 2 (List.length groups);
   Alcotest.(check (list int)) "evens" [ 2; 4 ] (List.assoc 0 groups);
   Alcotest.(check (list int)) "odds" [ 1; 3; 5 ] (List.assoc 1 groups)

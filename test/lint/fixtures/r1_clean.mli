@@ -1,0 +1,5 @@
+val max3 : int -> int -> int -> int
+
+val same_name : string -> string -> bool
+
+val close_enough : float -> float -> bool

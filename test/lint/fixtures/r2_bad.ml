@@ -1,0 +1,5 @@
+(* Hashtbl.fold into a list with no normalization: the result order
+   depends on the table's seed — R2 violation. *)
+
+let keys (tbl : (int, int) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

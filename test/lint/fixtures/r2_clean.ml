@@ -1,0 +1,11 @@
+(* Hashtbl.fold into a list under a dominating sort — R2 clean. *)
+
+let histogram xs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace tbl x
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+    xs;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

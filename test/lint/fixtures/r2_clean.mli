@@ -1,0 +1,1 @@
+val histogram : int list -> (int * int) list

@@ -1,0 +1,6 @@
+(* Ambient nondeterminism sources outside lib/base/prng.ml — R3
+   violations. *)
+
+let roll () = Random.int 6
+
+let now () = Sys.time ()

@@ -1,0 +1,3 @@
+val roll : unit -> int
+
+val now : unit -> float

@@ -1,0 +1,3 @@
+(* Deterministic arithmetic only — R3 clean. *)
+
+let lcg_next s = ((s * 1103515245) + 12345) land 0x3FFFFFFF

@@ -1,0 +1,1 @@
+val lcg_next : int -> int

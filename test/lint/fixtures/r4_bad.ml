@@ -1,0 +1,5 @@
+(* Top-level mutable state, shared by every domain — R4 violations. *)
+
+let hits = ref 0
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16

@@ -1,0 +1,3 @@
+val hits : int ref
+
+val cache : (int, int) Hashtbl.t

@@ -1,0 +1,6 @@
+(* Mutable state scoped inside a function — R4 clean. *)
+
+let count xs =
+  let c = ref 0 in
+  List.iter (fun _ -> incr c) xs;
+  !c

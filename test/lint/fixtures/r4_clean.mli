@@ -1,0 +1,1 @@
+val count : 'a list -> int

@@ -1,0 +1,3 @@
+(* No companion .mli and an Obj.magic cast — R5 violations. *)
+
+let unsafe_to_string (x : int) : string = Obj.magic x

@@ -1,0 +1,3 @@
+(* Has a companion interface and no unsafe casts — R5 clean. *)
+
+let id x = x

@@ -1,0 +1,65 @@
+(* Golden test for the rmt-lint rules.
+
+   The fixture library under fixtures/ compiles one clean and one
+   violating module per rule; this test loads their .cmt files, runs the
+   full analysis, and compares the normalized finding lines
+
+     <rule> <source basename> <context>
+
+   against expected.txt.  Line numbers and messages are deliberately
+   excluded: messages embed printed types, whose rendering may drift
+   across compiler versions, while rule/file/context pin down exactly
+   which violation fired where. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 1)
+    fmt
+
+let () =
+  let units =
+    match
+      Rmt_lint.Cmt_loader.scan ~build_dir:"fixtures"
+        ~dirs:[ "test/lint/fixtures" ]
+    with
+    | Ok us -> us
+    | Error e -> fail "fixture scan failed: %s" e
+  in
+  if List.length units <> 10 then
+    fail "expected 10 fixture units, scanned %d — fixture library changed?"
+      (List.length units);
+  let findings = Rmt_lint.Lint.analyze units in
+  let actual =
+    List.map
+      (fun (f : Rmt_lint.Finding.t) ->
+        Printf.sprintf "%s %s %s" f.rule (Filename.basename f.file) f.context)
+      findings
+    |> List.sort String.compare
+  in
+  let expected =
+    In_channel.with_open_text "expected.txt" In_channel.input_lines
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '#')
+    |> List.sort String.compare
+  in
+  if actual <> expected then begin
+    prerr_endline "--- expected (sorted) ---";
+    List.iter prerr_endline expected;
+    prerr_endline "--- actual (sorted) ---";
+    List.iter prerr_endline actual;
+    fail "lint fixture golden mismatch"
+  end;
+  (* The clean fixtures must contribute nothing at all. *)
+  List.iter
+    (fun (f : Rmt_lint.Finding.t) ->
+      let base = Filename.basename f.file in
+      if
+        String.length base >= 8
+        && String.sub base 2 6 = "_clean"
+      then fail "clean fixture %s produced a finding: %s" base f.message)
+    findings;
+  Printf.printf "lint golden: %d findings match expected.txt\n"
+    (List.length findings)

@@ -1,0 +1,86 @@
+(* Runtime check of the property rmt-lint enforces statically: RMT-PKA
+   must decide identically — same verdict, same delivery trace — no
+   matter how the runtime seeds its hash tables.
+
+   The dune rule runs this binary with OCAMLRUNPARAM=R, so every
+   [Hashtbl.create] draws a fresh random seed; two executions inside the
+   same process therefore iterate their tables in different orders.  Any
+   surviving iteration-order leak in the protocol stack shows up as a
+   diverging trace. *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+open Rmt_attack
+
+let () =
+  match Sys.getenv_opt "OCAMLRUNPARAM" with
+  | Some p when String.exists (fun c -> c = 'R') p -> ()
+  | _ ->
+    prerr_endline
+      "test_runtime_determinism: OCAMLRUNPARAM must contain R (run via dune)";
+    exit 1
+
+(* A random connected instance with a small adversary structure over the
+   middle nodes, resampled until PKA-solvable. *)
+let random_solvable_instance seed =
+  let rng = Prng.create seed in
+  let n = 8 + Prng.int rng 4 in
+  let g = Generators.random_connected_gnp rng n 0.5 in
+  let dealer = 0 and receiver = n - 1 in
+  let ground = Nodeset.remove dealer (Graph.nodes g) in
+  let middle = Nodeset.remove receiver ground in
+  let rec go tries =
+    if tries = 0 then None
+    else
+      let sets = List.init 2 (fun _ -> Prng.sample rng middle 1) in
+      let structure = Structure.of_sets ~ground sets in
+      match
+        Instance.make ~graph:g ~structure ~view:(View.radius 2 g) ~dealer
+          ~receiver
+      with
+      | exception Invalid_argument _ -> go (tries - 1)
+      | inst ->
+        if
+          Rmt_core.Solvability.is_solvable
+            (Campaign.solvability Campaign.Pka inst)
+        then Some inst
+        else go (tries - 1)
+  in
+  go 8
+
+let solvable_seen = ref 0
+
+let prop seed =
+  match random_solvable_instance seed with
+  | None -> true
+  | Some inst ->
+    incr solvable_seen;
+    let rng = Prng.create (seed + 17) in
+    let p = Strategy_gen.random rng inst ~x_dealer:7 ~x_fake:8 in
+    let run () = Campaign.execute_traced Campaign.Pka inst ~x_dealer:7 p in
+    let r1, t1 = run () in
+    let r2, t2 = run () in
+    Campaign.verdict_equal r1.Campaign.verdict r2.Campaign.verdict
+    && r1.Campaign.rounds = r2.Campaign.rounds
+    && r1.Campaign.messages = r2.Campaign.messages
+    && String.equal t1 t2
+
+let () =
+  let test =
+    QCheck.Test.make ~count:40 ~name:"pka decision+trace seed-independent"
+      QCheck.(int_bound 1_000_000)
+      prop
+  in
+  QCheck.Test.check_exn test;
+  if !solvable_seen < 10 then begin
+    Printf.eprintf
+      "only %d/40 sampled instances were solvable — generator drifted?\n"
+      !solvable_seen;
+    exit 1
+  end;
+  Printf.printf
+    "runtime determinism: %d solvable instances, identical decision+trace \
+     under randomized hashtable seeds\n"
+    !solvable_seen

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-baseline bench bench-json fuzz fuzz-smoke bench-check outputs examples clean
+.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json fuzz fuzz-smoke bench-check outputs examples clean
 
 all: build
 
@@ -10,12 +10,17 @@ build:
 test:
 	dune runtest
 
-# Typedtree determinism & safety analysis over lib/ (rules R1-R5; run
+# Typedtree determinism & safety analysis over lib/ (rules R1-R7; run
 # `dune exec bin/rmt_lint.exe -- rules` for the catalog).  Fails on any
-# finding not pinned in lint-baseline.txt.
+# finding not pinned in lint-baseline.txt.  Unchanged .cmt files are
+# served from the digest-keyed cache; `make lint-clean` forces a cold run.
 lint:
 	dune build @check
-	dune exec bin/rmt_lint.exe -- check --baseline lint-baseline.txt
+	dune exec bin/rmt_lint.exe -- check --baseline lint-baseline.txt \
+	  --cache _build/rmt-lint.cache
+
+lint-clean:
+	rm -f _build/rmt-lint.cache
 
 # Regenerate the baseline, then edit the JUSTIFY placeholders by hand.
 lint-baseline:
@@ -30,6 +35,11 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- core --json
 
+# Regenerate the checked-in analyzer timing record (BENCH_lint.json).
+bench-lint-json:
+	dune build @check
+	dune exec bench/main.exe -- lint --json
+
 # Seeded fuzzing campaigns over instances/ (table + BENCH_attack.json).
 fuzz:
 	dune exec bench/main.exe -- attack --json
@@ -43,11 +53,17 @@ fuzz-smoke:
 	done
 
 # Compare a fresh kernel record against the committed baseline (>25% fails).
+# The analyzer record is wall-clock (not bechamel-sampled), so its gate is
+# deliberately loose: only a >3x blowup fails.
 bench-check:
 	cp BENCH_core.json /tmp/rmt_bench_baseline.json
 	dune exec bench/main.exe -- core --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_baseline.json \
 	  BENCH_core.json --threshold=0.25
+	cp BENCH_lint.json /tmp/rmt_bench_lint_baseline.json
+	dune exec bench/main.exe -- lint --json
+	dune exec bench/check_regression.exe -- /tmp/rmt_bench_lint_baseline.json \
+	  BENCH_lint.json --threshold=2.0
 
 examples:
 	dune exec examples/quickstart.exe

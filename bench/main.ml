@@ -751,7 +751,7 @@ let ablations () =
           ~receiver
       in
       let time f =
-        let (_, s) = Util.time_it (fun () -> List.init 5 (fun _ -> f inst)) in
+        let (_, s) = Timing.time_it (fun () -> List.init 5 (fun _ -> f inst)) in
         s /. 5.
       in
       let inc = time Cut.find_rmt_cut in
@@ -777,7 +777,7 @@ let ablations () =
       let s1 = random_structure rng ~universe:18 ~sets ~max_size:6 in
       let s2 = random_structure rng ~universe:18 ~sets ~max_size:6 in
       let (j, secs) =
-        Util.time_it (fun () ->
+        Timing.time_it (fun () ->
             let j = ref (Joint.join s1 s2) in
             for _ = 2 to 50 do
               j := Joint.join s1 s2
@@ -813,7 +813,7 @@ let ablations () =
       let adversary = Strategies.pka_topology_liar inst ~x_dealer:5 corrupted in
       let budgets = { Rmt_pka.default_budgets with subset_budget } in
       let (r, secs) =
-        Util.time_it (fun () -> Rmt_pka.run ~budgets ~adversary inst ~x_dealer:5)
+        Timing.time_it (fun () -> Rmt_pka.run ~budgets ~adversary inst ~x_dealer:5)
       in
       Table.add_row t3
         [
@@ -1115,7 +1115,7 @@ let core () =
   let timings =
     List.map
       (fun d ->
-        let results, secs = Parsweep.time_with_domains ~domains:d e3_classify suite in
+        let results, secs = Timing.time_with_domains ~domains:d e3_classify suite in
         (d, secs, results))
       runs
   in
@@ -1284,6 +1284,51 @@ let attack () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* LINT — analyzer wall-time and cache effectiveness                   *)
+(* ------------------------------------------------------------------ *)
+
+(* json fragments filled in by [lint] and flushed by the driver *)
+let lint_json_sections : string list ref = ref []
+
+let lint () =
+  section "rmt-lint analyzer: cold vs warm (cmt-digest cache)";
+  let module L = Rmt_lint in
+  let build_dir = "_build/default" and dirs = [ "lib" ] in
+  let run cache =
+    Timing.time_it (fun () ->
+        match L.Lint.scan_cached ~cache ~build_dir ~dirs with
+        | Error e -> failwith ("lint bench: " ^ e)
+        | Ok (units, stats) ->
+          let graph = L.Lint.graph_of units in
+          (List.length (L.Lint.findings_of units graph), stats))
+  in
+  let cache = L.Cache.empty () in
+  let (cold_findings, _), cold_s = run cache in
+  let (warm_findings, warm_stats), warm_s = run cache in
+  if cold_findings <> warm_findings then
+    failwith "lint bench: warm run changed the findings";
+  let rate = L.Lint.hit_rate warm_stats in
+  Printf.printf
+    "  cold: %.3fs   warm: %.3fs   (%d findings; warm reused %d/%d cmts, \
+     %.1f%%)\n"
+    cold_s warm_s cold_findings warm_stats.L.Lint.hits
+    warm_stats.L.Lint.lookups rate;
+  lint_json_sections :=
+    [
+      Printf.sprintf
+        "\"micro\": [\n\
+        \    {\"name\": \"rmt/lint/cold\", \"ns_per_run\": %.1f},\n\
+        \    {\"name\": \"rmt/lint/warm\", \"ns_per_run\": %.1f}\n\
+        \  ]"
+        (cold_s *. 1e9) (warm_s *. 1e9);
+      Printf.sprintf
+        "\"cache\": {\"lookups\": %d, \"hits\": %d, \"hit_rate_percent\": \
+         %.1f}"
+        warm_stats.L.Lint.lookups warm_stats.L.Lint.hits rate;
+      Printf.sprintf "\"findings\": %d" cold_findings;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1292,7 +1337,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e2b", e2b); ("e3", e3); ("e4", e4);
     ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("ablations", ablations); ("bechamel", bechamel);
-    ("core", core); ("attack", attack);
+    ("core", core); ("attack", attack); ("lint", lint);
   ]
 
 let write_core_json () =
@@ -1310,6 +1355,14 @@ let write_attack_json () =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"rmt-bench-attack/1\",\n  %s\n}\n"
     (String.concat ",\n  " !attack_json_sections);
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
+let write_lint_json () =
+  let path = "BENCH_lint.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rmt-bench-lint/1\",\n  %s\n}\n"
+    (String.concat ",\n  " !lint_json_sections);
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
@@ -1345,7 +1398,7 @@ let () =
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f ->
-        let (), seconds = Util.time_it f in
+        let (), seconds = Timing.time_it f in
         Printf.printf "[%s finished in %.2fs]\n" name seconds
       | None ->
         Printf.eprintf "unknown experiment %S (known: %s)\n" name
@@ -1353,4 +1406,5 @@ let () =
         exit 1)
     names;
   if !json_mode && !core_json_sections <> [] then write_core_json ();
-  if !json_mode && !attack_json_sections <> [] then write_attack_json ()
+  if !json_mode && !attack_json_sections <> [] then write_attack_json ();
+  if !json_mode && !lint_json_sections <> [] then write_lint_json ()

@@ -2,18 +2,25 @@
 
    Subcommands:
      check     (default) lint the repository's .cmt files
+     paths     Theorem-4 taint audit: sources, sinks, guard status
+     graph     dump the cross-module call graph (--dot for GraphViz)
      explain   print the rationale for one rule
+     rules     list all rules
 
    The analyzer reads the typedtrees that `dune build @check` leaves
-   under _build/default and runs the five rules documented in
-   lib/lint/rules.mli (and DESIGN.md par.6).  Exit status: 0 when every
-   finding is pinned in the baseline, 1 on new findings, 2 on usage or
-   I/O errors.
+   under _build/default and runs the five intraprocedural rules of
+   lib/lint/rules.mli plus the interprocedural passes R6 (Domain races)
+   and R7 (Theorem-4 taint) over the cross-module call graph.  With
+   --cache FILE, unchanged .cmt files (by content digest) are never
+   re-read across runs.  Exit status: 0 when every finding is pinned in
+   the baseline, 1 on new findings, 2 on usage or I/O errors.
 
    Examples:
      dune build @check && rmt_lint check --baseline lint-baseline.txt
-     rmt_lint check --json --out lint-report.json
-     rmt_lint explain R2 *)
+     rmt_lint check --cache _build/rmt-lint.cache --sarif rmt-lint.sarif
+     rmt_lint paths
+     rmt_lint graph --dot | dot -Tsvg > callgraph.svg
+     rmt_lint explain R7 *)
 
 open Rmt_lint
 open Cmdliner
@@ -42,6 +49,18 @@ let out =
   let doc = "Also write the JSON report to $(docv)." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
 
+let sarif =
+  let doc = "Also write a SARIF 2.1.0 report to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+
+let cache_path =
+  let doc =
+    "Incremental cache file: unchanged .cmt files (by content digest) \
+     are not re-analyzed, and the cache is rewritten after the run.  \
+     Delete the file (make lint-clean) to force a cold run."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+
 let update_baseline =
   let doc =
     "Rewrite the --baseline file to pin exactly the current findings \
@@ -49,13 +68,27 @@ let update_baseline =
   in
   Arg.(value & flag & info [ "update-baseline" ] ~doc)
 
-let check_cmd build_dir dirs baseline json out update =
-  match Cmt_loader.scan ~build_dir ~dirs with
+(* Shared front half: load cache, scan, store cache back. *)
+let scan_with_cache build_dir dirs cache_path =
+  let cache =
+    match cache_path with
+    | Some p -> Cache.load p
+    | None -> Cache.empty ()
+  in
+  match Lint.scan_cached ~cache ~build_dir ~dirs with
+  | Error e -> Error e
+  | Ok (units, stats) ->
+    (match cache_path with Some p -> Cache.save p cache | None -> ());
+    Ok (units, stats)
+
+let check_cmd build_dir dirs baseline json out sarif cache_path update =
+  match scan_with_cache build_dir dirs cache_path with
   | Error e ->
     prerr_endline ("rmt-lint: " ^ e);
     2
-  | Ok units ->
-    let findings = Lint.analyze units in
+  | Ok (units, stats) ->
+    let graph = Lint.graph_of units in
+    let findings = Lint.findings_of units graph in
     (match (update, baseline) with
      | true, None ->
        prerr_endline "rmt-lint: --update-baseline requires --baseline";
@@ -77,7 +110,8 @@ let check_cmd build_dir dirs baseline json out update =
           2
         | Ok entries ->
           let report =
-            Lint.apply_baseline entries (List.length units) findings
+            Lint.apply_baseline ~cache:stats entries (List.length units)
+              findings
           in
           (match out with
            | None -> ()
@@ -85,9 +119,46 @@ let check_cmd build_dir dirs baseline json out update =
              let oc = open_out path in
              output_string oc (Lint.render_json report);
              close_out oc);
+          (match sarif with
+           | None -> ()
+           | Some path ->
+             let oc = open_out path in
+             output_string oc (Sarif.render ~entries report);
+             close_out oc);
           if json then print_string (Lint.render_json report)
           else print_string (Lint.render_text report);
           if report.Lint.fresh = [] then 0 else 1))
+
+let paths_cmd build_dir dirs cache_path =
+  match scan_with_cache build_dir dirs cache_path with
+  | Error e ->
+    prerr_endline ("rmt-lint: " ^ e);
+    2
+  | Ok (units, _) ->
+    print_string (Taint.audit (Lint.graph_of units));
+    0
+
+let graph_cmd build_dir dirs cache_path dot =
+  match scan_with_cache build_dir dirs cache_path with
+  | Error e ->
+    prerr_endline ("rmt-lint: " ^ e);
+    2
+  | Ok (units, _) ->
+    let graph = Lint.graph_of units in
+    if dot then print_string (Callgraph.to_dot graph)
+    else begin
+      let fns, edges = Callgraph.stats graph in
+      Printf.printf "call graph: %d function(s), %d resolved edge(s)\n" fns
+        edges;
+      List.iter
+        (fun (f : Callgraph.fn_summary) ->
+          match Callgraph.callees graph f.fn_name with
+          | [] -> ()
+          | cs ->
+            Printf.printf "%s -> %s\n" f.fn_name (String.concat ", " cs))
+        (Callgraph.functions graph)
+    end;
+    0
 
 let explain_cmd rule =
   match Rules.find rule with
@@ -102,12 +173,32 @@ let explain_cmd rule =
 
 let check_term =
   Term.(
-    const check_cmd $ build_dir $ dirs $ baseline $ json $ out
-    $ update_baseline)
+    const check_cmd $ build_dir $ dirs $ baseline $ json $ out $ sarif
+    $ cache_path $ update_baseline)
 
 let check =
   let doc = "lint the repository's typedtrees (the default command)" in
   Cmd.v (Cmd.info "check" ~doc) check_term
+
+let paths =
+  let doc =
+    "audit Theorem-4 taint paths: every adversarial source, every \
+     decision sink, and per sanitizer family either 'guarded' or the \
+     unguarded source->sink call chain"
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc)
+    Term.(const paths_cmd $ build_dir $ dirs $ cache_path)
+
+let graph =
+  let dot =
+    let doc = "Emit GraphViz instead of a text adjacency listing." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let doc = "dump the cross-module call graph" in
+  Cmd.v
+    (Cmd.info "graph" ~doc)
+    Term.(const graph_cmd $ build_dir $ dirs $ cache_path $ dot)
 
 let explain =
   let doc = "describe one rule and the invariant it protects" in
@@ -115,13 +206,14 @@ let explain =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"RULE" ~doc:"Rule identifier, R1..R5.")
+      & info [] ~docv:"RULE" ~doc:"Rule identifier, R1..R7.")
   in
   Cmd.v (Cmd.info "explain" ~doc) Term.(const explain_cmd $ rule)
 
 let rules_cmd () =
   List.iter
-    (fun m -> Printf.printf "%s  %-22s %s\n" m.Rules.id m.Rules.name m.Rules.summary)
+    (fun m ->
+      Printf.printf "%s  %-22s %s\n" m.Rules.id m.Rules.name m.Rules.summary)
     Rules.all;
   0
 
@@ -134,4 +226,7 @@ let () =
     Cmd.info "rmt_lint" ~version:"%%VERSION%%"
       ~doc:"typedtree-based determinism & safety analyzer for the rmt tree"
   in
-  exit (Cmd.eval' (Cmd.group ~default:check_term info [ check; explain; rules ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default:check_term info
+          [ check; paths; graph; explain; rules ]))

@@ -52,9 +52,4 @@ let group_by ~cmp key l =
   in
   go sorted
 
-let time_it f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
 let fail fmt = Format.kasprintf failwith fmt

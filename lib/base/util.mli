@@ -24,8 +24,5 @@ val group_by :
 (** Groups adjacent-equal keys after a stable sort by key under [cmp];
     each key appears once, groups in ascending key order. *)
 
-val time_it : (unit -> 'a) -> 'a * float
-(** Result and elapsed wall-clock seconds. *)
-
 val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [fail fmt ...] raises [Failure] with a formatted message. *)

@@ -1,0 +1,40 @@
+(** Incremental analysis cache, keyed by cmt content digest.
+
+    Per cmt file the cache stores either {!Skipped} (not an analyzable
+    unit) or the unit's intraprocedural findings plus its
+    {!Callgraph.unit_summary} — everything a warm run needs without
+    re-reading the typedtree.  Entries are invalidated by content
+    digest; the whole file is invalidated by analyzer or compiler
+    version.  Any load failure degrades to an empty cache, so
+    correctness never depends on it ([make lint-clean] merely deletes
+    the file). *)
+
+type entry =
+  | Skipped
+  | Analyzed of {
+      source : string;
+      has_mli : bool;
+      intra : Finding.t list;  (** structural findings only, no R5 *)
+      summary : Callgraph.unit_summary;
+    }
+
+type t
+
+val default_path : string
+(** [_build/rmt-lint.cache]. *)
+
+val empty : unit -> t
+
+val load : string -> t
+(** Empty on a missing, corrupt, or version-mismatched file. *)
+
+val lookup : t -> cmt_path:string -> digest:string -> entry option
+(** A hit requires the stored digest to equal [digest]. *)
+
+val store : t -> cmt_path:string -> digest:string -> entry -> unit
+
+val size : t -> int
+
+val save : string -> t -> unit
+(** Atomic (write-then-rename), sorted, version-stamped.  A no-op when
+    the parent directory does not exist. *)

@@ -1,0 +1,130 @@
+(** Cross-module call graph over the repository's compilation units.
+
+    Each unit's typedtree is boiled down once into plain-data
+    {!fn_summary} records — one per value binding reachable by a static
+    module path — recording every global value reference (canonicalized
+    so dune's wrapped-library manglings resolve across units), the
+    taint-relevant facts (an Engine [~inbox] parameter, adversary-payload
+    types in bound patterns, decision-sink sites) and every Domain
+    fan-out call site with its closure's captured mutable variables.
+
+    Summaries are deliberately serialization-friendly (strings and ints
+    only): the incremental {!Cache} stores them keyed by cmt digest, so a
+    warm run rebuilds the graph without re-reading unchanged typedtrees.
+    The interprocedural passes {!Race} (R6) and {!Taint} (R7) are pure
+    functions of the {!t} built from them. *)
+
+type ref_site = {
+  ref_name : string;  (** canonical reference, e.g. ["Nodeset.compare"] *)
+  ref_line : int;
+}
+
+type fanout = {
+  fan_callee : string;  (** e.g. ["Parsweep.map"] *)
+  fan_line : int;
+  fan_col : int;
+  fan_context : string;  (** enclosing binding, for finding contexts *)
+  captured : (string * string) list;
+      (** mutable values captured from outside the closure: variable
+          name, container kind (or mutated field) *)
+  closure_refs : ref_site list;
+      (** global references made inside the closure *)
+  arg_fn : string option;
+      (** the function argument when it is a named function rather than
+          a literal closure *)
+}
+
+type sink_kind =
+  | Decided_assign  (** [_.decided <- ...] *)
+  | Verdict_construct of string  (** Campaign verdict constructor *)
+
+type sink_site = {
+  sink_kind : sink_kind;
+  sink_line : int;
+  sink_col : int;
+}
+
+type fn_summary = {
+  fn_name : string;  (** qualified, e.g. ["Rmt_pka.try_value"] *)
+  fn_file : string;
+  fn_line : int;
+  refs : ref_site list;  (** every global value reference, in order *)
+  inbox_param : bool;  (** binds an ident named [inbox] *)
+  adversary_types : string list;
+      (** source type constructors appearing in bound patterns *)
+  sinks : sink_site list;
+  mutable_global : string option;
+      (** [Some kind] when the binding itself is a mutable container —
+          module-level shared state *)
+  fanouts : fanout list;
+}
+
+type unit_summary = {
+  u_source : string;
+  u_module : string;
+  u_functions : fn_summary list;
+}
+
+val sink_describe : sink_kind -> string
+
+val source_type_names : string list
+(** Adversary-payload type constructors (suffix-matched): [Flood.msg],
+    [Program.t], [Program.inject], [Engine.strategy]. *)
+
+val inbox_param_name : string
+(** ["inbox"] — the Engine step's delivery parameter. *)
+
+val fanout_names : string list
+(** Domain fan-out entry points: [Parsweep.map], [Parsweep.map_list],
+    [Timing.time_with_domains], [Domain.spawn]. *)
+
+val verdict_constructors : string list
+(** Campaign verdict constructors treated as decision sinks. *)
+
+val summarize : source:string -> Typedtree.structure -> unit_summary
+(** One pass over a typedtree.  Declaration-order independent: locals
+    are collected before references are resolved. *)
+
+type t
+(** The whole-program graph. *)
+
+val build : unit_summary list -> t
+(** Index the summaries.  On duplicate function names the first unit (in
+    the given order) wins — callers pass units sorted by source path, so
+    the result is deterministic. *)
+
+val functions : t -> fn_summary list
+(** All functions, sorted by qualified name. *)
+
+val find : t -> string -> fn_summary option
+
+val resolve : t -> string -> string option
+(** Map a reference (as recorded in a summary) to the qualified name of
+    a function defined in the analyzed units, if any: exact match first,
+    then canonical last-two-components match. *)
+
+val callees : t -> string -> string list
+(** Resolved, deduplicated, sorted out-edges; self-loops dropped. *)
+
+val callers : t -> string -> string list
+
+val reaches : t -> marked:(fn_summary -> bool) -> string -> bool
+(** [reaches t ~marked] precomputes the set of functions that are marked
+    or transitively call a marked function, and returns its membership
+    test. *)
+
+val shortest_path :
+  t ->
+  admit:(string -> bool) ->
+  accept:(string -> bool) ->
+  string ->
+  string list option
+(** Deterministic BFS from a function along call edges through admitted
+    nodes to the nearest accepted one; the returned path includes both
+    endpoints. *)
+
+val to_dot : t -> string
+(** GraphViz rendering of the resolved edges. *)
+
+val stats : t -> int * int
+(** (functions, resolved edges). *)

@@ -35,15 +35,14 @@ let under_one_of dirs source =
       String.starts_with ~prefix:d source)
     dirs
 
-let scan ~build_dir ~dirs =
+let cmt_paths ~build_dir =
   if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then
     Error
       (Printf.sprintf
          "build directory %s not found; run `dune build @check` first"
          build_dir)
   else begin
-    let units = ref [] in
-    let errors = ref [] in
+    let paths = ref [] in
     let rec walk dir =
       match Sys.readdir dir with
       | exception Sys_error _ -> ()
@@ -54,19 +53,27 @@ let scan ~build_dir ~dirs =
             let path = Filename.concat dir entry in
             if Sys.is_directory path then walk path
             else if Filename.check_suffix path ".cmt" then
-              match read_cmt path with
-              | Ok (Some u) when under_one_of dirs u.source ->
-                units := u :: !units
-              | Ok _ -> ()
-              | Error e -> errors := e :: !errors)
+              paths := path :: !paths)
           entries
     in
     walk build_dir;
-    match !errors with
-    | e :: _ -> Error e
-    | [] ->
-      Ok
-        (List.sort
-           (fun a b -> String.compare a.source b.source)
-           !units)
+    Ok (List.sort String.compare !paths)
   end
+
+let scan ~build_dir ~dirs =
+  match cmt_paths ~build_dir with
+  | Error e -> Error e
+  | Ok paths ->
+    let units = ref [] in
+    let errors = ref [] in
+    List.iter
+      (fun path ->
+        match read_cmt path with
+        | Ok (Some u) when under_one_of dirs u.source -> units := u :: !units
+        | Ok _ -> ()
+        | Error e -> errors := e :: !errors)
+      paths;
+    (match !errors with
+     | e :: _ -> Error e
+     | [] ->
+       Ok (List.sort (fun a b -> String.compare a.source b.source) !units))

@@ -20,6 +20,13 @@ val read_cmt : string -> (unit_info option, string) result
     [Error _] when the file cannot be parsed (version mismatch, not a
     cmt). *)
 
+val cmt_paths : build_dir:string -> (string list, string) result
+(** Every [.cmt] under [build_dir], sorted — the file list the
+    digest-first {!Cache} lookup iterates without parsing anything. *)
+
+val under_one_of : string list -> string -> bool
+(** Path-prefix membership test used by {!scan}'s [dirs] filter. *)
+
 val scan :
   build_dir:string -> dirs:string list -> (unit_info list, string) result
 (** [scan ~build_dir ~dirs] walks [build_dir] recursively and returns

@@ -1,3 +1,9 @@
+type hop = {
+  hop_fn : string;
+  hop_file : string;
+  hop_line : int;
+}
+
 type t = {
   rule : string;
   file : string;
@@ -5,16 +11,55 @@ type t = {
   col : int;
   context : string;
   message : string;
+  chain : hop list;
 }
 
-let make ~rule ~file ?(line = 0) ?(col = 0) ?(context = "module") message =
-  { rule; file; line; col; context; message }
+let make ~rule ~file ?(line = 0) ?(col = 0) ?(context = "module")
+    ?(chain = []) message =
+  { rule; file; line; col; context; message; chain }
+
+(* Repo-relative normal form shared by fingerprints and SARIF: the same
+   source reported as "./lib/a.ml", "lib//a.ml" or through the dune build
+   tree ("_build/default/lib/a.ml") must hash identically, and two files
+   with the same basename in different directories must not. *)
+let normalize_path file =
+  let file = String.map (fun c -> if c = '\\' then '/' else c) file in
+  let rec strip file =
+    if String.starts_with ~prefix:"./" file then
+      strip (String.sub file 2 (String.length file - 2))
+    else if String.starts_with ~prefix:"_build/default/" file then
+      strip (String.sub file 15 (String.length file - 15))
+    else file
+  in
+  let file = strip file in
+  (* collapse any double slashes *)
+  let buf = Buffer.create (String.length file) in
+  String.iteri
+    (fun i c ->
+      if not (c = '/' && i > 0 && file.[i - 1] = '/') then
+        Buffer.add_char buf c)
+    file;
+  Buffer.contents buf
 
 let fingerprint t =
+  let chain_part =
+    String.concat ">"
+      (List.map
+         (fun h -> h.hop_fn ^ "@" ^ normalize_path h.hop_file)
+         t.chain)
+  in
   let key =
-    String.concat "|" [ t.rule; t.file; t.context; t.message ]
+    String.concat "|"
+      [ t.rule; normalize_path t.file; t.context; t.message; chain_part ]
   in
   String.sub (Digest.to_hex (Digest.string key)) 0 12
+
+let hop_compare a b =
+  let c = String.compare a.hop_fn b.hop_fn in
+  if c <> 0 then c
+  else
+    let c = String.compare a.hop_file b.hop_file in
+    if c <> 0 then c else Int.compare a.hop_line b.hop_line
 
 let compare a b =
   let c = String.compare a.file b.file in
@@ -27,11 +72,26 @@ let compare a b =
       if c <> 0 then c
       else
         let c = String.compare a.rule b.rule in
-        if c <> 0 then c else String.compare a.message b.message
+        if c <> 0 then c
+        else
+          let c = String.compare a.message b.message in
+          if c <> 0 then c
+          else List.compare hop_compare a.chain b.chain
+
+let chain_to_text chain =
+  String.concat " -> "
+    (List.map
+       (fun h -> Printf.sprintf "%s (%s:%d)" h.hop_fn h.hop_file h.hop_line)
+       chain)
 
 let to_text t =
-  Printf.sprintf "%s:%d:%d: [%s] %s  (in %s)" t.file t.line t.col t.rule
-    t.message t.context
+  let head =
+    Printf.sprintf "%s:%d:%d: [%s] %s  (in %s)" t.file t.line t.col t.rule
+      t.message t.context
+  in
+  match t.chain with
+  | [] -> head
+  | chain -> head ^ "\n    call chain: " ^ chain_to_text chain
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -48,12 +108,26 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let hop_to_json h =
+  Printf.sprintf "{\"fn\":\"%s\",\"file\":\"%s\",\"line\":%d}"
+    (json_escape h.hop_fn)
+    (json_escape h.hop_file)
+    h.hop_line
+
 let to_json t =
+  let chain_json =
+    match t.chain with
+    | [] -> ""
+    | chain ->
+      Printf.sprintf ",\"chain\":[%s]"
+        (String.concat "," (List.map hop_to_json chain))
+  in
   Printf.sprintf
     "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\
-     \"context\":\"%s\",\"fingerprint\":\"%s\",\"message\":\"%s\"}"
+     \"context\":\"%s\",\"fingerprint\":\"%s\",\"message\":\"%s\"%s}"
     (json_escape t.rule) (json_escape t.file) t.line t.col
     (json_escape t.context) (fingerprint t) (json_escape t.message)
+    chain_json
 
 let list_to_json ts =
   match ts with

@@ -1,27 +1,123 @@
+type scanned_unit = {
+  su_source : string;
+  su_has_mli : bool;
+  su_intra : Finding.t list;
+  su_summary : Callgraph.unit_summary;
+  su_cached : bool;
+}
+
+type cache_stats = { lookups : int; hits : int }
+
+let hit_rate s =
+  if s.lookups = 0 then 0.0
+  else 100.0 *. float_of_int s.hits /. float_of_int s.lookups
+
 type report = {
   scanned : int;
   findings : Finding.t list;
   fresh : Finding.t list;
   stale : Baseline.entry list;
+  cache : cache_stats;
 }
 
-let analyze ?(require_mli = true) units =
-  let per_unit (u : Cmt_loader.unit_info) =
-    let structural =
-      Rules.check_structure ~file:u.Cmt_loader.source u.Cmt_loader.structure
-    in
-    if require_mli && not u.Cmt_loader.has_mli then
-      Finding.make ~rule:"R5" ~file:u.Cmt_loader.source
-        "module has no .mli interface; determinism contracts must be \
-         documented and representations kept private"
-      :: structural
-    else structural
-  in
-  List.concat_map per_unit units |> List.sort Finding.compare
+let structural (u : Cmt_loader.unit_info) =
+  Rules.check_structure ~file:u.Cmt_loader.source u.Cmt_loader.structure
 
-let apply_baseline entries scanned findings =
+let unit_of_info (u : Cmt_loader.unit_info) =
+  {
+    su_source = u.Cmt_loader.source;
+    su_has_mli = u.Cmt_loader.has_mli;
+    su_intra = structural u;
+    su_summary =
+      Callgraph.summarize ~source:u.Cmt_loader.source u.Cmt_loader.structure;
+    su_cached = false;
+  }
+
+(* Digest-first traversal: unchanged cmts are never parsed.  Entries are
+   stored for every cmt regardless of [dirs] (the cache is
+   dirs-independent); the [dirs] filter applies at collection time. *)
+let scan_cached ~cache ~build_dir ~dirs =
+  match Cmt_loader.cmt_paths ~build_dir with
+  | Error e -> Error e
+  | Ok paths ->
+    let units = ref [] in
+    let errors = ref [] in
+    let lookups = ref 0 in
+    let hits = ref 0 in
+    let keep su =
+      if Cmt_loader.under_one_of dirs su.su_source then units := su :: !units
+    in
+    List.iter
+      (fun path ->
+        let digest = Digest.to_hex (Digest.file path) in
+        incr lookups;
+        match Cache.lookup cache ~cmt_path:path ~digest with
+        | Some Cache.Skipped -> incr hits
+        | Some (Cache.Analyzed a) ->
+          incr hits;
+          keep
+            {
+              su_source = a.source;
+              su_has_mli = a.has_mli;
+              su_intra = a.intra;
+              su_summary = a.summary;
+              su_cached = true;
+            }
+        | None ->
+          (match Cmt_loader.read_cmt path with
+           | Error e -> errors := e :: !errors
+           | Ok None -> Cache.store cache ~cmt_path:path ~digest Cache.Skipped
+           | Ok (Some u) ->
+             let su = unit_of_info u in
+             Cache.store cache ~cmt_path:path ~digest
+               (Cache.Analyzed
+                  {
+                    source = su.su_source;
+                    has_mli = su.su_has_mli;
+                    intra = su.su_intra;
+                    summary = su.su_summary;
+                  });
+             keep su))
+      paths;
+    (match !errors with
+     | e :: _ -> Error e
+     | [] ->
+       let units =
+         List.sort
+           (fun a b -> String.compare a.su_source b.su_source)
+           !units
+       in
+       Ok (units, { lookups = !lookups; hits = !hits }))
+
+let graph_of units = Callgraph.build (List.map (fun u -> u.su_summary) units)
+
+(* Intraprocedural findings (cached per unit) + the filesystem half of
+   R5 + the interprocedural passes (whole-program, recomputed from
+   summaries every run — they are cheap relative to typedtree walks). *)
+let findings_of ?(require_mli = true) units graph =
+  let intra =
+    List.concat_map
+      (fun su ->
+        if require_mli && not su.su_has_mli then
+          Finding.make ~rule:"R5" ~file:su.su_source
+            "module has no .mli interface; determinism contracts must be \
+             documented and representations kept private"
+          :: su.su_intra
+        else su.su_intra)
+      units
+  in
+  intra @ Race.analyze graph @ Taint.analyze graph
+  |> List.sort Finding.compare
+
+let analyze ?require_mli units =
+  let units = List.map unit_of_info units in
+  findings_of ?require_mli units (graph_of units)
+
+let no_cache_stats = { lookups = 0; hits = 0 }
+
+let apply_baseline ?(cache = no_cache_stats) entries scanned findings =
   let fresh, stale = Baseline.partition entries findings in
-  { scanned; findings; fresh; stale }
+  { scanned; findings; fresh; stale; cache }
 
 let render_text r =
   let buf = Buffer.create 512 in
@@ -37,6 +133,10 @@ let render_text r =
            e.rule e.fingerprint e.file))
     r.stale;
   let baselined = List.length r.findings - List.length r.fresh in
+  if r.cache.lookups > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "rmt-lint: cache %d/%d cmt(s) reused (%.1f%%)\n"
+         r.cache.hits r.cache.lookups (hit_rate r.cache));
   Buffer.add_string buf
     (Printf.sprintf
        "rmt-lint: %d unit(s) scanned, %d finding(s) (%d baselined, %d new)\n"
@@ -55,11 +155,12 @@ let render_json r =
   Printf.sprintf
     "{\n\
      \  \"scanned\": %d,\n\
+     \  \"cache\": {\"lookups\": %d, \"hits\": %d},\n\
      \  \"findings\": %s,\n\
      \  \"fresh\": %s,\n\
      \  \"stale_baseline\": [%s]\n\
      }\n"
-    r.scanned
+    r.scanned r.cache.lookups r.cache.hits
     (Finding.list_to_json r.findings)
     (Finding.list_to_json r.fresh)
     (String.concat ", " (List.map stale_json r.stale))

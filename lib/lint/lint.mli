@@ -1,10 +1,25 @@
-(** The rmt-lint driver: rules over compilation units, baseline
-    filtering, rendering.
+(** The rmt-lint driver: rules over compilation units, the incremental
+    cache, baseline filtering, rendering.
 
     This is the layer both the [rmt_lint] executable and the fixture
-    tests call: {!analyze} runs the typedtree rules of {!Rules} plus the
-    filesystem half of R5 (missing [.mli]) over loaded units, and
+    tests call.  {!scan_cached} walks the build tree digest-first so
+    unchanged typedtrees are never re-read; {!findings_of} combines the
+    per-unit intraprocedural findings with the interprocedural passes
+    ({!Race} R6, {!Taint} R7) run over the {!Callgraph}; and
     {!apply_baseline} splits the result against a suppression file. *)
+
+type scanned_unit = {
+  su_source : string;
+  su_has_mli : bool;
+  su_intra : Finding.t list;  (** structural findings only, no R5 *)
+  su_summary : Callgraph.unit_summary;
+  su_cached : bool;  (** came out of the cache, typedtree never read *)
+}
+
+type cache_stats = { lookups : int; hits : int }
+
+val hit_rate : cache_stats -> float
+(** Percentage, 0 when nothing was looked up. *)
 
 type report = {
   scanned : int;  (** number of compilation units analyzed *)
@@ -12,20 +27,41 @@ type report = {
   fresh : Finding.t list;  (** findings not pinned in the baseline *)
   stale : Baseline.entry list;
       (** baseline entries matching no current finding *)
+  cache : cache_stats;
 }
+
+val scan_cached :
+  cache:Cache.t ->
+  build_dir:string ->
+  dirs:string list ->
+  (scanned_unit list * cache_stats, string) result
+(** Walk every cmt under [build_dir]: digest, cache lookup, and only on
+    a miss read the typedtree, analyze it and store the result back into
+    [cache] (mutated in place; the caller decides whether to
+    {!Cache.save}).  Returns the units under [dirs] sorted by source
+    path.  Pass {!Cache.empty} for a cold, cache-free run. *)
+
+val graph_of : scanned_unit list -> Callgraph.t
+
+val findings_of :
+  ?require_mli:bool -> scanned_unit list -> Callgraph.t -> Finding.t list
+(** All rules: cached intraprocedural findings, the filesystem half of
+    R5 (unless [require_mli] is false), and R6/R7 over [graph]. *)
 
 val analyze :
   ?require_mli:bool -> Cmt_loader.unit_info list -> Finding.t list
-(** Run all rules.  [require_mli] (default [true]) controls the
-    missing-interface half of R5. *)
+(** Uncached convenience composition of the above over pre-loaded units
+    — the fixture-test entry point. *)
 
-val apply_baseline : Baseline.entry list -> int -> Finding.t list -> report
+val apply_baseline :
+  ?cache:cache_stats -> Baseline.entry list -> int -> Finding.t list -> report
 (** [apply_baseline entries scanned findings] builds the final report. *)
 
 val render_text : report -> string
-(** Human-readable report: fresh findings, stale-entry warnings, and a
-    one-line verdict. *)
+(** Human-readable report: fresh findings (with call chains), stale
+    entry warnings, the cache reuse line, and a one-line verdict. *)
 
 val render_json : report -> string
-(** Machine-readable report for the CI artifact: scanned count, every
-    finding with its fingerprint, the fresh subset, stale entries. *)
+(** Machine-readable report for the CI artifact: scanned count, cache
+    stats, every finding with its fingerprint, the fresh subset, stale
+    entries. *)

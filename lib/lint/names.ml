@@ -1,0 +1,106 @@
+let strip_stdlib name =
+  if String.length name > 7 && String.equal (String.sub name 0 7) "Stdlib."
+  then String.sub name 7 (String.length name - 7)
+  else name
+
+let path_name p = strip_stdlib (Path.name p)
+
+let qualified_matches candidates name =
+  List.exists
+    (fun m ->
+      String.equal name m || String.ends_with ~suffix:("." ^ m) name)
+    candidates
+
+(* Dune's wrapped libraries mangle cross-library references into
+   [Rmt_base__Nodeset.compare]; the module-alias route renders as
+   [Rmt_base.Nodeset.compare].  Both must resolve to the same call-graph
+   node as the defining unit's own [Nodeset.compare]. *)
+let split_on_string ~sep s =
+  let ls = String.length sep and n = String.length s in
+  let rec go start i acc =
+    if i + ls > n then List.rev (String.sub s start (n - start) :: acc)
+    else if String.equal (String.sub s i ls) sep then
+      go (i + ls) (i + ls) (String.sub s start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  if ls = 0 then [ s ] else go 0 0 []
+
+let canonical_ref name =
+  let name = strip_stdlib name in
+  let parts =
+    split_on_string ~sep:"." name
+    |> List.concat_map (fun p -> split_on_string ~sep:"__" p)
+    |> List.filter (fun p -> p <> "")
+  in
+  match List.rev parts with
+  | fn :: m :: _ -> m ^ "." ^ fn
+  | [ one ] -> one
+  | [] -> name
+
+let module_of_source source =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename source))
+
+let rec type_is_base ty =
+  match Types.get_desc ty with
+  | Ttuple tys -> List.for_all type_is_base tys
+  | Tconstr (p, args, _) ->
+    (match path_name p with
+     | "int" | "char" | "bool" | "string" | "float" | "unit" | "int32"
+     | "int64" | "nativeint" -> true
+     | "list" | "option" | "array" | "ref" -> List.for_all type_is_base args
+     | _ -> false)
+  | Tpoly (ty, _) -> type_is_base ty
+  | _ -> false
+
+let type_is_list ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> String.equal (path_name p) "list"
+  | _ -> false
+
+let show_type ty =
+  match Format.asprintf "%a" Printtyp.type_expr ty with
+  | s -> s
+  | exception _ -> "<unprintable>"
+
+let first_arg_type ty =
+  match Types.get_desc ty with Tarrow (_, a, _, _) -> Some a | _ -> None
+
+let mutable_container ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) ->
+    let n = path_name p in
+    if String.equal n "ref" || String.equal n "array" || String.equal n "bytes"
+    then Some n
+    else if
+      qualified_matches
+        [ "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t"; "Dynarray.t" ]
+        n
+    then Some n
+    else None
+  | _ -> None
+
+(* Every type constructor mentioned anywhere in [ty], canonicalized —
+   the taint pass greps these for adversary-payload types.  Guarded
+   against cyclic type expressions with a visit cap. *)
+let type_constr_names ty =
+  let acc = ref [] in
+  let budget = ref 512 in
+  let rec go ty =
+    if !budget > 0 then begin
+      decr budget;
+      match Types.get_desc ty with
+      | Tconstr (p, args, _) ->
+        acc := canonical_ref (path_name p) :: !acc;
+        List.iter go args
+      | Ttuple tys -> List.iter go tys
+      | Tarrow (_, a, b, _) ->
+        go a;
+        go b
+      | Tpoly (ty, _) -> go ty
+      | Tlink ty | Tsubst (ty, _) -> go ty
+      | _ -> ()
+    end
+  in
+  go ty;
+  List.sort_uniq String.compare !acc

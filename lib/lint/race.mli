@@ -1,0 +1,19 @@
+(** R6 — the Domain-race pass.
+
+    Flags, at every fan-out call site ({!Callgraph.fanout_names}), (a)
+    mutable containers captured by the closure from outside itself, and
+    (b) top-level mutable state reachable — transitively through the
+    cross-module call graph — from anything the closure calls.  The
+    second kind of finding carries the witnessing call chain.
+    Domain-local allocations are exempt by construction;
+    [lib/workloads/parsweep.ml] (the sanctioned fan-out engine, whose
+    disjoint-index writes this flow-insensitive pass cannot justify) is
+    exempt by file. *)
+
+val rule : string
+(** ["R6"]. *)
+
+val exempt_file : string -> bool
+
+val analyze : Callgraph.t -> Finding.t list
+(** Sorted by {!Finding.compare}. *)

@@ -47,16 +47,17 @@ let all =
       id = "R3";
       name = "nondeterminism-source";
       summary =
-        "Stdlib.Random / Sys.time / Unix.gettimeofday outside prng.ml and \
-         bench/";
+        "Stdlib.Random / Sys.time / Unix.gettimeofday outside prng.ml, \
+         workloads/timing.ml and bench/";
       details =
         "Every random draw in the repository must flow through the seeded\n\
          splitmix64 generator in lib/base/prng.ml so that experiments and\n\
          attack campaigns replay bit-for-bit from their recorded seed.\n\
          Stdlib.Random has ambient global state, and wall-clock reads\n\
          (Sys.time, Unix.gettimeofday, Unix.time) leak scheduling noise\n\
-         into values.  Only lib/base/prng.ml (the sanctioned generator)\n\
-         and bench/ (which measures wall-clock on purpose) are exempt.\n\
+         into values.  Only lib/base/prng.ml (the sanctioned generator),\n\
+         lib/workloads/timing.ml (the bench-only timing helpers) and\n\
+         bench/ (which measures wall-clock on purpose) are exempt.\n\
          Fix: thread a Prng.t, or move timing into the bench layer.";
     };
     {
@@ -88,6 +89,58 @@ let all =
          with it every guarantee the other rules check.  Fix: add the\n\
          .mli; delete the Obj use.";
     };
+    {
+      id = "R6";
+      name = "domain-race";
+      summary =
+        "mutable state reachable from a closure fanned out across Domains";
+      details =
+        "A closure passed to Parsweep.map / Parsweep.map_list /\n\
+         Domain.spawn captures a mutable value (ref, Hashtbl, Buffer,\n\
+         Queue, Stack, array, bytes, or a record with mutable fields)\n\
+         allocated outside the closure, or transitively calls — through\n\
+         the cross-module call graph — a function that touches top-level\n\
+         mutable state.  Every domain of the fan-out shares that state\n\
+         without synchronization: a data race under OCaml 5's memory\n\
+         model, and sweep results start depending on scheduling.\n\
+         Domain-local state (allocated inside the closure) is exempt, as\n\
+         are Atomic.t cells and the sanctioned fan-out engine\n\
+         lib/workloads/parsweep.ml itself (its result array is written\n\
+         at disjoint indices and read only after the join).  Fix:\n\
+         allocate inside the closure, pre-split per instance before the\n\
+         sweep, or aggregate sequentially after the parallel map.";
+    };
+    {
+      id = "R7";
+      name = "theorem4-taint";
+      summary =
+        "adversary-controlled data reaches a decision sink unverified";
+      details =
+        "Theorem 4 is a safety obligation: the receiver must never decide\n\
+         a wrong value, however the adversary lies.  Statically that\n\
+         means every interprocedural path from a taint source (messages\n\
+         delivered through an Engine step's ~inbox, Flood.msg payloads,\n\
+         Attack/Program payloads, Discovery reports) to a decision sink\n\
+         (an assignment to a `decided' field, Campaign verdict\n\
+         construction) must pass a sanitizer of BOTH families:\n\
+         - cut/cover verification: Cut.find_rmt_cut / find_rmt_zpp_cut /\n\
+           is_rmt_cut, Solvability.is_solvable / partial_knowledge /\n\
+           ad_hoc / feasibility_equal, Structure.mem / maximal_sets,\n\
+           Subset_enum.connected_supersets;\n\
+         - positive-connectivity verification: Connectivity.connected /\n\
+           connected_avoiding / is_cut, Paths.shortest_path,\n\
+           Flood.trail_ok.  Paths.find_simple_path deliberately does\n\
+           NOT count: the adversary can always supply a claimed graph\n\
+           containing some path, so its success verifies nothing.\n\
+         The PR 2 fuzzing campaign caught exactly the second family\n\
+         missing: a full-looking message set whose claimed graph had no\n\
+         D-R path at all (vacuous fullness), letting a spammed value\n\
+         through the cover check.  The finding prints the witnessing\n\
+         source->sink call chain.  Fix: guard the decision with the\n\
+         missing verification, or pin with a justification naming the\n\
+         guard the analysis cannot see (e.g. a higher-order decider\n\
+         argument).";
+    };
   ]
 
 let find id =
@@ -95,25 +148,16 @@ let find id =
   List.find_opt (fun m -> String.equal m.id id) all
 
 (* ------------------------------------------------------------------ *)
-(* Name and type helpers                                               *)
+(* Name and type helpers (shared ones live in Names)                   *)
 (* ------------------------------------------------------------------ *)
 
-let strip_stdlib name =
-  if String.length name > 7 && String.equal (String.sub name 0 7) "Stdlib."
-  then String.sub name 7 (String.length name - 7)
-  else name
-
-let path_name p = strip_stdlib (Path.name p)
+let path_name = Names.path_name
 
 (* [Hashtbl.fold] should also match [Stdlib.Hashtbl.fold] (stripped) and
    re-exports like [Rmt_base.Nodeset.of_list]; a bare suffix like
    [compare] must NOT match [Nodeset.compare], so exact names get no
    suffix matching. *)
-let qualified_matches candidates name =
-  List.exists
-    (fun m ->
-      String.equal name m || String.ends_with ~suffix:("." ^ m) name)
-    candidates
+let qualified_matches = Names.qualified_matches
 
 let poly_ops =
   [ "compare"; "="; "<>"; "<"; ">"; "<="; ">="; "min"; "max" ]
@@ -147,46 +191,15 @@ let is_obj_magic = qualified_matches [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]
 let r3_exempt file =
   String.ends_with ~suffix:"lib/base/prng.ml" file
   || String.equal file "prng.ml"
+  || String.ends_with ~suffix:"lib/workloads/timing.ml" file
+  || String.equal file "timing.ml"
   || String.starts_with ~prefix:"bench/" file
 
-let rec type_is_base ty =
-  match Types.get_desc ty with
-  | Ttuple tys -> List.for_all type_is_base tys
-  | Tconstr (p, args, _) ->
-    (match path_name p with
-     | "int" | "char" | "bool" | "string" | "float" | "unit" | "int32"
-     | "int64" | "nativeint" -> true
-     | "list" | "option" | "array" | "ref" -> List.for_all type_is_base args
-     | _ -> false)
-  | Tpoly (ty, _) -> type_is_base ty
-  | _ -> false
-
-let type_is_list ty =
-  match Types.get_desc ty with
-  | Tconstr (p, _, _) -> String.equal (path_name p) "list"
-  | _ -> false
-
-let show_type ty =
-  match Format.asprintf "%a" Printtyp.type_expr ty with
-  | s -> s
-  | exception _ -> "<unprintable>"
-
-let first_arg_type ty =
-  match Types.get_desc ty with Tarrow (_, a, _, _) -> Some a | _ -> None
-
-let mutable_container ty =
-  match Types.get_desc ty with
-  | Tconstr (p, _, _) ->
-    let n = path_name p in
-    if String.equal n "ref" || String.equal n "array" || String.equal n "bytes"
-    then Some n
-    else if
-      qualified_matches
-        [ "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t"; "Dynarray.t" ]
-        n
-    then Some n
-    else None
-  | _ -> None
+let type_is_base = Names.type_is_base
+let type_is_list = Names.type_is_list
+let show_type = Names.show_type
+let first_arg_type = Names.first_arg_type
+let mutable_container = Names.mutable_container
 
 (* ------------------------------------------------------------------ *)
 (* The traversal                                                       *)

@@ -28,7 +28,12 @@
       data race unless atomic.  [Atomic.t] and [Domain.DLS] are exempt.
     - {b R5 interface hygiene}: no [Obj.magic] / [Obj.repr] / [Obj.obj];
       the companion missing-[.mli] check lives in {!Lint} (it is a
-      filesystem property, not a typedtree one). *)
+      filesystem property, not a typedtree one).
+
+    Two further rules are {e interprocedural} and live outside this
+    module — {b R6 domain-race} in {!Race} and {b R7 theorem4-taint} in
+    {!Taint}, both driven by the cross-module {!Callgraph} — but their
+    catalog entries ([explain R6], [explain R7]) are registered here. *)
 
 type meta = {
   id : string;
@@ -38,7 +43,8 @@ type meta = {
 }
 
 val all : meta list
-(** The five rules, in order. *)
+(** The seven rules, in order (R6/R7 are implemented in {!Race} and
+    {!Taint}; their catalog entries live here). *)
 
 val find : string -> meta option
 (** Look up by id, case-insensitively ([find "r2"] works). *)
@@ -49,5 +55,5 @@ val check_structure :
     source path used in findings and for the R3 exemption list. *)
 
 val r3_exempt : string -> bool
-(** True for files where R3 does not apply ([lib/base/prng.ml], anything
-    under [bench/]). *)
+(** True for files where R3 does not apply ([lib/base/prng.ml],
+    [lib/workloads/timing.ml], anything under [bench/]). *)

@@ -1,0 +1,403 @@
+(* SARIF 2.1.0 emission — one run, rmt-lint as the driver, every rule
+   in the catalog, one result per finding with its fingerprint, its
+   location, its interprocedural call chain as a codeFlow, and a
+   suppression when the baseline pins it.  CI uploads the file through
+   github/codeql-action/upload-sarif, which turns results into PR
+   annotations.
+
+   The vendored [Json] value type exists because the toolchain carries
+   no JSON library; the parser half is only exercised by the schema
+   test, but living next to the renderer keeps the two in sync. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let render t =
+    let buf = Buffer.create 4096 in
+    let rec go indent t =
+      match t with
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      | Str s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+      | Arr [] -> Buffer.add_string buf "[]"
+      | Arr items ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            go (indent + 2) item)
+          items;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\": ";
+            go (indent + 2) v)
+          fields;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Parse_error (Printf.sprintf "at %d: %s" !pos msg)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      if
+        !pos + String.length word <= n
+        && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+           | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+           | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+           | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+           | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+           | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+           | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+           | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+           | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+           | Some 'u' ->
+             advance ();
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | None -> fail "bad \\u escape"
+              | Some code ->
+                (* ASCII passthrough; anything higher keeps its escape
+                   spelled out — enough fidelity for SARIF checking. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_string buf ("\\u" ^ hex));
+             go ()
+           | _ -> fail "bad escape")
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          let rec go () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items := parse_value () :: !items;
+              go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          go ();
+          Arr (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let fields = ref [ field () ] in
+          let rec go () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields := field () :: !fields;
+              go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          go ();
+          Obj (List.rev !fields)
+        end
+      | Some _ ->
+        let start = !pos in
+        let num_char c =
+          match c with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        in
+        while (match peek () with Some c -> num_char c | None -> false) do
+          advance ()
+        done;
+        if !pos = start then fail "unexpected character";
+        let tok = String.sub s start (!pos - start) in
+        (match int_of_string_opt tok with
+         | Some i -> Int i
+         | None ->
+           (match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> fail ("bad number " ^ tok)))
+    in
+    match parse_value () with
+    | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing input at %d" !pos)
+      else Ok v
+    | exception Parse_error e -> Error e
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_list = function Arr items -> Some items | _ -> None
+  let to_string = function Str s -> Some s | _ -> None
+end
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+let sarif_version = "2.1.0"
+let tool_name = "rmt-lint"
+let fingerprint_key = "rmtLint/v2"
+
+let level_of_rule id =
+  match id with "R6" | "R7" -> "error" | _ -> "warning"
+
+let rule_ids = List.map (fun (m : Rules.meta) -> m.id) Rules.all
+
+let rules_json =
+  Json.Arr
+    (List.map
+       (fun (m : Rules.meta) ->
+         Json.Obj
+           [
+             ("id", Json.Str m.id);
+             ("name", Json.Str m.name);
+             ("shortDescription", Json.Obj [ ("text", Json.Str m.summary) ]);
+             ("fullDescription", Json.Obj [ ("text", Json.Str m.details) ]);
+             ( "defaultConfiguration",
+               Json.Obj [ ("level", Json.Str (level_of_rule m.id)) ] );
+           ])
+       Rules.all)
+
+let physical_location ~file ~line ~col =
+  Json.Obj
+    [
+      ( "artifactLocation",
+        Json.Obj
+          [
+            ("uri", Json.Str (Finding.normalize_path file));
+            ("uriBaseId", Json.Str "SRCROOT");
+          ] );
+      ( "region",
+        Json.Obj
+          [
+            ("startLine", Json.Int (max 1 line));
+            ("startColumn", Json.Int (max 1 (col + 1)));
+          ] );
+    ]
+
+let code_flow chain =
+  Json.Obj
+    [
+      ( "threadFlows",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ( "locations",
+                  Json.Arr
+                    (List.map
+                       (fun (h : Finding.hop) ->
+                         Json.Obj
+                           [
+                             ( "location",
+                               Json.Obj
+                                 [
+                                   ( "physicalLocation",
+                                     physical_location ~file:h.hop_file
+                                       ~line:h.hop_line ~col:0 );
+                                   ( "message",
+                                     Json.Obj [ ("text", Json.Str h.hop_fn) ]
+                                   );
+                                 ] );
+                           ])
+                       chain) );
+              ];
+          ] );
+    ]
+
+let message_text (f : Finding.t) =
+  if f.chain = [] then f.message
+  else f.message ^ "; call chain: " ^ Finding.chain_to_text f.chain
+
+let result_json entries (f : Finding.t) =
+  let fp = Finding.fingerprint f in
+  let suppression =
+    List.find_opt
+      (fun (e : Baseline.entry) ->
+        String.equal e.rule f.rule && String.equal e.fingerprint fp)
+      entries
+  in
+  let base =
+    [
+      ("ruleId", Json.Str f.rule);
+      ( "ruleIndex",
+        Json.Int
+          (match List.find_index (String.equal f.rule) rule_ids with
+           | Some i -> i
+           | None -> -1) );
+      ("level", Json.Str (level_of_rule f.rule));
+      ("message", Json.Obj [ ("text", Json.Str (message_text f)) ]);
+      ( "locations",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ( "physicalLocation",
+                  physical_location ~file:f.file ~line:f.line ~col:f.col );
+              ];
+          ] );
+      ("partialFingerprints", Json.Obj [ (fingerprint_key, Json.Str fp) ]);
+    ]
+  in
+  let base =
+    if f.chain = [] then base
+    else base @ [ ("codeFlows", Json.Arr [ code_flow f.chain ]) ]
+  in
+  let base =
+    match suppression with
+    | None -> base
+    | Some e ->
+      base
+      @ [
+          ( "suppressions",
+            Json.Arr
+              [
+                Json.Obj
+                  [
+                    ("kind", Json.Str "external");
+                    ("justification", Json.Str e.justification);
+                  ];
+              ] );
+        ]
+  in
+  Json.Obj base
+
+let document ~entries (report : Lint.report) =
+  Json.Obj
+    [
+      ("$schema", Json.Str schema_uri);
+      ("version", Json.Str sarif_version);
+      ( "runs",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.Str tool_name);
+                            ( "informationUri",
+                              Json.Str
+                                "https://github.com/rmt-pka/rmt#linting" );
+                            ("rules", rules_json);
+                          ] );
+                    ] );
+                ( "results",
+                  Json.Arr (List.map (result_json entries) report.findings) );
+              ];
+          ] );
+    ]
+
+let render ~entries report = Json.render (document ~entries report)

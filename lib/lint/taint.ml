@@ -1,0 +1,250 @@
+(* R7 — Theorem-4 taint analysis.
+
+   Theorem 4 (RMT-PKA correctness) rests on the receiver deciding only
+   after two independent verifications of adversary-controlled data:
+
+   - a {e cover / solvability} check — the union of claimed labels must
+     fail to cover the sender-receiver cut (Cut.find_rmt_cut and
+     friends), or equivalently the instance must be certified solvable;
+   - a {e positive connectivity} check — the claimed graph must actually
+     connect the sender to the receiver around any candidate corruption
+     set (Connectivity.connected_avoiding and friends).
+
+   A protocol that skips either family can be driven to a wrong decision
+   by a crafted claimed structure.  Notably, [Paths.find_simple_path] is
+   {e not} a connectivity sanitizer: asking for {e some} path in a
+   claimed graph is vacuously satisfiable by the adversary supplying
+   that path, which is exactly the vacuous-fullness bug fixed in PR 2 —
+   only checks that quantify over corruption sets or verify
+   reachability of the authentic receiver qualify.
+
+   Sources are functions that bind Engine-delivered messages (an
+   [~inbox] parameter) or adversary-payload types (Attack programs,
+   Flood messages, Engine strategies).  Sinks are receiver decisions
+   ([_.decided <- ...]) and Campaign verdict construction.  A finding is
+   a source-to-sink call chain none of whose nodes reaches a sanitizer
+   of some family; the chain is printed in full. *)
+
+let rule = "R7"
+
+type family = Cover | Connectivity
+
+let cover_sanitizers =
+  [
+    "Cut.find_rmt_cut";
+    "Cut.find_rmt_zpp_cut";
+    "Cut.is_rmt_cut";
+    "Solvability.is_solvable";
+    "Solvability.partial_knowledge";
+    "Solvability.ad_hoc";
+    "Solvability.feasibility_equal";
+    "Structure.mem";
+    "Structure.maximal_sets";
+    "Subset_enum.connected_supersets";
+  ]
+
+let connectivity_sanitizers =
+  [
+    "Connectivity.connected";
+    "Connectivity.connected_avoiding";
+    "Connectivity.is_cut";
+    "Paths.shortest_path";
+    "Flood.trail_ok";
+  ]
+
+let sanitizers = function
+  | Cover -> cover_sanitizers
+  | Connectivity -> connectivity_sanitizers
+
+let family_name = function
+  | Cover -> "cover/solvability"
+  | Connectivity -> "positive-connectivity"
+
+let family_hint = function
+  | Cover ->
+    "Cut.find_rmt_cut / Solvability.is_solvable / Structure.mem"
+  | Connectivity ->
+    "Connectivity.connected_avoiding / Flood.trail_ok \
+     (Paths.find_simple_path does not count: a mere claimed path is \
+     adversary-satisfiable)"
+
+let is_source (f : Callgraph.fn_summary) =
+  f.inbox_param || f.adversary_types <> []
+
+let refs_sanitizer fam (f : Callgraph.fn_summary) =
+  let names = sanitizers fam in
+  List.exists
+    (fun (r : Callgraph.ref_site) -> Names.qualified_matches names r.ref_name)
+    f.refs
+
+(* [sanitized fam] is the membership test for "references a [fam]
+   sanitizer, directly or in some transitive callee". *)
+let sanitized graph fam =
+  Callgraph.reaches graph ~marked:(refs_sanitizer fam)
+
+(* Shortest source-to-[sink_fn] call chain every node of which fails
+   [admit] ... i.e. backward BFS over callers through admitted nodes. *)
+let source_chain graph ~admit start =
+  let accept name =
+    match Callgraph.find graph name with
+    | Some f -> is_source f
+    | None -> false
+  in
+  if not (admit start) then None
+  else if accept start then Some [ start ]
+  else begin
+    let parent = Hashtbl.create 32 in
+    Hashtbl.replace parent start start;
+    let q = Queue.create () in
+    Queue.add start q;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty q) do
+      let n = Queue.pop q in
+      List.iter
+        (fun c ->
+          if !result = None && admit c && not (Hashtbl.mem parent c) then begin
+            Hashtbl.replace parent c n;
+            if accept c then result := Some c else Queue.add c q
+          end)
+        (Callgraph.callers graph n)
+    done;
+    match !result with
+    | None -> None
+    | Some s ->
+      (* parent pointers lead from the source back down to [start], so
+         walking them yields the chain already in call order. *)
+      let rec walk n acc =
+        let acc = n :: acc in
+        if String.equal n start then List.rev acc
+        else walk (Hashtbl.find parent n) acc
+      in
+      Some (walk s [])
+  end
+
+let hop_of graph name =
+  match Callgraph.find graph name with
+  | Some f ->
+    { Finding.hop_fn = name; hop_file = f.fn_file; hop_line = f.fn_line }
+  | None -> { Finding.hop_fn = name; hop_file = "?"; hop_line = 0 }
+
+let sink_word (f : Callgraph.fn_summary) =
+  f.sinks
+  |> List.map (fun (s : Callgraph.sink_site) ->
+         Callgraph.sink_describe s.sink_kind)
+  |> List.sort_uniq String.compare
+  |> String.concat ", "
+
+let analyze graph =
+  let sanitized_of = [ (Cover, sanitized graph Cover);
+                       (Connectivity, sanitized graph Connectivity) ] in
+  let findings = ref [] in
+  List.iter
+    (fun (f : Callgraph.fn_summary) ->
+      if f.sinks <> [] then begin
+        (* One witness chain per unguarded family, then one finding per
+           distinct chain listing every family it witnesses. *)
+        let witnesses =
+          List.filter_map
+            (fun (fam, is_sanitized) ->
+              if is_sanitized f.fn_name then None
+              else
+                match
+                  source_chain graph
+                    ~admit:(fun n -> not (is_sanitized n))
+                    f.fn_name
+                with
+                | None -> None
+                | Some chain -> Some (fam, chain))
+            sanitized_of
+        in
+        let chains =
+          List.map snd witnesses
+          |> List.sort_uniq (List.compare String.compare)
+        in
+        List.iter
+          (fun chain ->
+            let fams =
+              List.filter_map
+                (fun (fam, c) ->
+                  if List.compare String.compare c chain = 0 then Some fam
+                  else None)
+                witnesses
+            in
+            let missing =
+              String.concat " and "
+                (List.map
+                   (fun fam ->
+                     Printf.sprintf "%s check (%s)" (family_name fam)
+                       (family_hint fam))
+                   fams)
+            in
+            let anchor = List.hd f.sinks in
+            let context =
+              match List.rev (String.split_on_char '.' f.fn_name) with
+              | last :: _ -> last
+              | [] -> f.fn_name
+            in
+            findings :=
+              Finding.make ~rule ~file:f.fn_file ~line:anchor.sink_line
+                ~col:anchor.sink_col ~context
+                ~chain:(List.map (hop_of graph) chain)
+                (Printf.sprintf
+                   "adversary-controlled data reaches decision sink \
+                    (%s) with no %s anywhere on the call chain; \
+                    Theorem 4 requires it before the receiver commits"
+                   (sink_word f) missing)
+              :: !findings)
+          chains
+      end)
+    (Callgraph.functions graph);
+  List.sort Finding.compare !findings
+
+let audit graph =
+  let buf = Buffer.create 1024 in
+  let sanitized_of = [ (Cover, sanitized graph Cover);
+                       (Connectivity, sanitized graph Connectivity) ] in
+  let sources =
+    Callgraph.functions graph |> List.filter is_source
+    |> List.map (fun (f : Callgraph.fn_summary) -> f.fn_name)
+  in
+  Buffer.add_string buf "Theorem-4 taint audit\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  sources (%d): %s\n" (List.length sources)
+       (String.concat ", " sources));
+  let sinks =
+    Callgraph.functions graph
+    |> List.filter (fun (f : Callgraph.fn_summary) -> f.sinks <> [])
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  decision sinks (%d):\n" (List.length sinks));
+  List.iter
+    (fun (f : Callgraph.fn_summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s (%s:%d) — %s\n" f.fn_name f.fn_file
+           f.fn_line (sink_word f));
+      List.iter
+        (fun (fam, is_sanitized) ->
+          if is_sanitized f.fn_name then
+            Buffer.add_string buf
+              (Printf.sprintf "      %-21s guarded\n"
+                 (family_name fam ^ ":"))
+          else
+            match
+              source_chain graph
+                ~admit:(fun n -> not (is_sanitized n))
+                f.fn_name
+            with
+            | Some chain ->
+              Buffer.add_string buf
+                (Printf.sprintf "      %-21s UNGUARDED  %s\n"
+                   (family_name fam ^ ":")
+                   (String.concat " -> " chain))
+            | None ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "      %-21s unguarded, but no adversarial source \
+                    reaches it\n"
+                   (family_name fam ^ ":")))
+        sanitized_of)
+    sinks;
+  Buffer.contents buf

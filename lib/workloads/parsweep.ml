@@ -66,8 +66,3 @@ let map ?domains f (input : 'a array) : 'b array =
 
 let map_list ?domains f l =
   Array.to_list (map ?domains f (Array.of_list l))
-
-let time_with_domains ~domains f input =
-  let t0 = Unix.gettimeofday () in
-  let r = map ~domains f input in
-  (r, Unix.gettimeofday () -. t0)

@@ -33,7 +33,6 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} through array conversion; preserves list order. *)
 
-val time_with_domains :
-  domains:int -> ('a -> 'b) -> 'a array -> 'b array * float
-(** {!map} plus its wall-clock seconds — the measurement hook for the
-    scaling benchmarks. *)
+(** Wall-clock measurement of sweeps lives in {!Timing}
+    ([Timing.time_with_domains]), the bench-only module rmt-lint exempts
+    from its R3 nondeterminism rule. *)

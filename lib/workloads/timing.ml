@@ -1,0 +1,17 @@
+(* Wall-clock measurement helpers, quarantined here so the rest of the
+   tree stays free of nondeterminism sources (rmt-lint R3).
+
+   This module is bench-only by contract: elapsed seconds are reported to
+   humans and benchmark records; they must never feed a protocol
+   decision, a trace, or any value a replay compares.  rmt-lint exempts
+   exactly lib/base/prng.ml, bench/ and this file from R3. *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_with_domains ~domains f input =
+  let t0 = Unix.gettimeofday () in
+  let r = Parsweep.map ~domains f input in
+  (r, Unix.gettimeofday () -. t0)

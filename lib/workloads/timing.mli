@@ -1,0 +1,15 @@
+(** Bench-only wall-clock timing.
+
+    The single sanctioned home (outside [bench/]) for wall-clock reads:
+    rmt-lint's R3 rule forbids [Unix.gettimeofday] and friends everywhere
+    else in [lib/], so that no timing noise can leak into protocol
+    decisions, traces or replayable artifacts.  Callers must treat the
+    elapsed seconds as reporting output only. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val time_with_domains :
+  domains:int -> ('a -> 'b) -> 'a array -> 'b array * float
+(** {!Parsweep.map} plus its wall-clock seconds — the measurement hook
+    for the scaling benchmarks. *)

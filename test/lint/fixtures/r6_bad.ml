@@ -1,0 +1,28 @@
+(* Domain-unsafe fan-out — R6 violations (plus the R4 the shared table
+   triggers on its own).  The local Parsweep stub stands in for the real
+   engine: rmt-lint matches fan-out callees by qualified suffix. *)
+
+module Parsweep = struct
+  let map ~domains:_ f xs = Array.map f xs
+end
+
+(* Captured mutable: every domain hammers the one table. *)
+let sweep_counts xs =
+  let hits : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Parsweep.map ~domains:4
+    (fun x ->
+      Hashtbl.replace hits x (x + 1);
+      x)
+    xs
+
+(* Transitive: the closure looks pure but calls into module state. *)
+let tally : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let record x = Hashtbl.replace tally x x
+
+let sweep_tally xs =
+  Parsweep.map ~domains:4
+    (fun x ->
+      record x;
+      x)
+    xs

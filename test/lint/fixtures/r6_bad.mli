@@ -1,0 +1,2 @@
+val sweep_counts : int array -> int array
+val sweep_tally : int array -> int array

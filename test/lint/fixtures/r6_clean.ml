@@ -1,0 +1,19 @@
+(* Compliant fan-out idioms: domain-local allocation and pure helpers. *)
+
+module Parsweep = struct
+  let map ~domains:_ f xs = Array.map f xs
+end
+
+(* Mutable scratch is fine when allocated inside the closure. *)
+let sweep_squares xs =
+  Parsweep.map ~domains:4
+    (fun x ->
+      let acc : (int, int) Hashtbl.t = Hashtbl.create 4 in
+      Hashtbl.replace acc x (x * x);
+      Hashtbl.length acc * x)
+    xs
+
+let double x = 2 * x
+
+(* Calling a pure helper keeps the closure race-free. *)
+let sweep_doubles xs = Parsweep.map ~domains:4 (fun x -> double x) xs

@@ -1,0 +1,3 @@
+val sweep_squares : int array -> int array
+val double : int -> int
+val sweep_doubles : int array -> int array

@@ -1,0 +1,10 @@
+(* Unverified receiver — R7 violation: adversary-delivered data flows
+   straight from the ~inbox parameter into the decision, with neither a
+   cover/solvability check nor a positive-connectivity check anywhere. *)
+
+type rs = { mutable decided : int option }
+
+let step rs ~inbox =
+  match inbox with
+  | (_src, x) :: _ -> rs.decided <- Some x
+  | [] -> ()

@@ -1,0 +1,3 @@
+type rs = { mutable decided : int option }
+
+val step : rs -> inbox:(int * int) list -> unit

@@ -1,0 +1,22 @@
+(* Compliant receiver: both sanitizer families guard the decision.  The
+   local stubs stand in for the real predicates — rmt-lint matches
+   sanitizers by qualified suffix. *)
+
+module Structure = struct
+  let mem _claims _x = false
+end
+
+module Connectivity = struct
+  let connected_avoiding _claims _src _x = true
+end
+
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+let step rs ~inbox =
+  match inbox with
+  | (src, x) :: _ ->
+    if
+      Structure.mem rs.claims x
+      && Connectivity.connected_avoiding rs.claims src x
+    then rs.decided <- Some x
+  | [] -> ()

@@ -1,0 +1,3 @@
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+val step : rs -> inbox:(int * int) list -> unit

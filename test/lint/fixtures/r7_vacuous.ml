@@ -1,0 +1,25 @@
+(* Reverted copy of the PR 2 vacuous-fullness bug: the cover condition
+   is checked, but the claimed graph is only "verified" with
+   Paths.find_simple_path — which the adversary satisfies by simply
+   claiming a graph that contains some path.  rmt-lint deliberately does
+   not count find_simple_path as a connectivity sanitizer, so R7 must
+   flag the decision with the positive-connectivity family missing. *)
+
+module Structure = struct
+  let mem _claims _x = false
+end
+
+module Paths = struct
+  let find_simple_path _claims _src _dst = Some [ 0 ]
+end
+
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+let try_value rs ~inbox =
+  match inbox with
+  | (src, x) :: _ ->
+    if
+      Structure.mem rs.claims x
+      && Paths.find_simple_path rs.claims src x <> None
+    then rs.decided <- Some x
+  | [] -> ()

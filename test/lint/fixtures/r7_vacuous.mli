@@ -1,0 +1,3 @@
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+val try_value : rs -> inbox:(int * int) list -> unit

@@ -1,0 +1,23 @@
+(* The PR 2 fix applied to r7_vacuous: the claimed graph must positively
+   connect the sender to the receiver around the candidate corruption
+   set (Connectivity.connected_avoiding), not merely contain some path.
+   R7 must consider this version clean. *)
+
+module Structure = struct
+  let mem _claims _x = false
+end
+
+module Connectivity = struct
+  let connected_avoiding _claims _src _x = true
+end
+
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+let try_value rs ~inbox =
+  match inbox with
+  | (src, x) :: _ ->
+    if
+      Structure.mem rs.claims x
+      && Connectivity.connected_avoiding rs.claims src x
+    then rs.decided <- Some x
+  | [] -> ()

@@ -1,0 +1,47 @@
+(* Unit tests for Finding.fingerprint — above all the collision fix:
+   the normalized repo-relative path participates in the hash, so two
+   findings that differ only in their file can never share a pin, while
+   build-tree path spellings of the same file still do. *)
+
+open Rmt_lint
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 1)
+    fmt
+
+let mk ?(file = "lib/a.ml") ?(line = 10) ?(context = "cache")
+    ?(chain = []) () =
+  Finding.make ~rule:"R4" ~file ~line ~col:2 ~context ~chain
+    "top-level mutable state"
+
+let () =
+  let fp f = Finding.fingerprint f in
+  (* the collision fix: same rule/context/message, different file *)
+  if fp (mk ()) = fp (mk ~file:"lib/b.ml" ()) then
+    fail "findings in different files share a fingerprint";
+  (* path normalization: spellings of the same file agree *)
+  List.iter
+    (fun spelling ->
+      if fp (mk ~file:spelling ()) <> fp (mk ()) then
+        fail "path spelling %S changed the fingerprint" spelling)
+    [ "./lib/a.ml"; "_build/default/lib/a.ml"; "lib//a.ml" ];
+  (* line drift must not invalidate pins *)
+  if fp (mk ~line:99 ()) <> fp (mk ()) then
+    fail "line drift changed the fingerprint";
+  (* the call chain participates... *)
+  let hop file line = { Finding.hop_fn = "M.f"; hop_file = file; hop_line = line } in
+  if fp (mk ~chain:[ hop "lib/m.ml" 3 ] ()) = fp (mk ()) then
+    fail "adding a call chain did not change the fingerprint";
+  if
+    fp (mk ~chain:[ hop "lib/m.ml" 3 ] ())
+    = fp (mk ~chain:[ hop "lib/n.ml" 3 ] ())
+  then fail "chains through different files share a fingerprint";
+  (* ...but its line numbers do not *)
+  if
+    fp (mk ~chain:[ hop "lib/m.ml" 3 ] ())
+    <> fp (mk ~chain:[ hop "lib/m.ml" 77 ] ())
+  then fail "chain line drift changed the fingerprint";
+  print_endline "fingerprint: all invariants hold"

@@ -27,8 +27,8 @@ let () =
     | Ok us -> us
     | Error e -> fail "fixture scan failed: %s" e
   in
-  if List.length units <> 10 then
-    fail "expected 10 fixture units, scanned %d — fixture library changed?"
+  if List.length units <> 16 then
+    fail "expected 16 fixture units, scanned %d — fixture library changed?"
       (List.length units);
   let findings = Rmt_lint.Lint.analyze units in
   let actual =
@@ -52,14 +52,41 @@ let () =
     List.iter prerr_endline actual;
     fail "lint fixture golden mismatch"
   end;
-  (* The clean fixtures must contribute nothing at all. *)
+  (* The clean fixtures (and the repaired vacuous-fullness copy) must
+     contribute nothing at all. *)
   List.iter
     (fun (f : Rmt_lint.Finding.t) ->
       let base = Filename.basename f.file in
       if
-        String.length base >= 8
-        && String.sub base 2 6 = "_clean"
+        (String.length base >= 8 && String.sub base 2 6 = "_clean")
+        || Filename.check_suffix base "_fixed.ml"
       then fail "clean fixture %s produced a finding: %s" base f.message)
     findings;
+  (* Interprocedural findings must carry their witnessing call chain. *)
+  List.iter
+    (fun (f : Rmt_lint.Finding.t) ->
+      if String.equal f.rule "R7" && f.chain = [] then
+        fail "R7 finding in %s has no source->sink call chain" f.file)
+    findings;
+  (* The reverted PR 2 bug must be caught for exactly the right reason:
+     the positive-connectivity family, not the cover family. *)
+  (match
+     List.find_opt
+       (fun (f : Rmt_lint.Finding.t) ->
+         String.equal f.rule "R7"
+         && Filename.basename f.file = "r7_vacuous.ml")
+       findings
+   with
+   | None -> fail "vacuous-fullness fixture r7_vacuous.ml was not flagged"
+   | Some f ->
+     let mentions_conn =
+       let sub = "positive-connectivity" in
+       let n = String.length f.message and m = String.length sub in
+       let rec at i = i + m <= n && (String.sub f.message i m = sub || at (i + 1)) in
+       at 0
+     in
+     if not mentions_conn then
+       fail "r7_vacuous finding does not cite the connectivity family: %s"
+         f.message);
   Printf.printf "lint golden: %d findings match expected.txt\n"
     (List.length findings)

@@ -1,0 +1,158 @@
+(* SARIF emitter test: render a report with every shape of result —
+   plain finding, chained finding, baselined finding — then parse it
+   back with the vendored JSON parser and check it structurally against
+   the SARIF 2.1.0 schema requirements we rely on: top-level $schema /
+   version / runs, a tool.driver with the full rule catalog, and per
+   result the ruleId, message.text, a physicalLocation with a 1-based
+   startLine, the partialFingerprints key, codeFlows for chained
+   findings and suppressions for baselined ones. *)
+
+open Rmt_lint
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 1)
+    fmt
+
+let get path json =
+  let rec go json = function
+    | [] -> json
+    | key :: rest ->
+      (match Sarif.Json.member key json with
+       | Some v -> go v rest
+       | None -> fail "missing %S in %s" key (String.concat "." path))
+  in
+  go json path
+
+let get_str path json =
+  match Sarif.Json.to_string (get path json) with
+  | Some s -> s
+  | None -> fail "%s is not a string" (String.concat "." path)
+
+let get_list path json =
+  match Sarif.Json.to_list (get path json) with
+  | Some l -> l
+  | None -> fail "%s is not an array" (String.concat "." path)
+
+let () =
+  let chain =
+    [
+      { Finding.hop_fn = "M.source"; hop_file = "lib/m.ml"; hop_line = 4 };
+      { Finding.hop_fn = "M.sink"; hop_file = "lib/m.ml"; hop_line = 9 };
+    ]
+  in
+  let plain =
+    Finding.make ~rule:"R1" ~file:"lib/a.ml" ~line:3 ~col:7 ~context:"f"
+      "polymorphic compare"
+  in
+  let chained =
+    Finding.make ~rule:"R7" ~file:"lib/m.ml" ~line:9 ~col:0 ~context:"sink"
+      ~chain "unsanitized decision"
+  in
+  let pinned =
+    Finding.make ~rule:"R4" ~file:"lib/b.ml" ~context:"cache"
+      (* line defaults to 0: the emitter must clamp startLine to 1 *)
+      "top-level mutable state"
+  in
+  let findings = [ plain; chained; pinned ] in
+  let entries =
+    [
+      {
+        Baseline.rule = "R4";
+        fingerprint = Finding.fingerprint pinned;
+        file = "lib/b.ml";
+        justification = "exercised only single-domain";
+      };
+    ]
+  in
+  let report = Lint.apply_baseline entries 3 findings in
+  let text = Sarif.render ~entries report in
+  let json =
+    match Sarif.Json.parse text with
+    | Ok j -> j
+    | Error e -> fail "rendered SARIF does not parse: %s" e
+  in
+  (* top level *)
+  if get_str [ "$schema" ] json <> Sarif.schema_uri then
+    fail "$schema mismatch";
+  if get_str [ "version" ] json <> "2.1.0" then fail "version mismatch";
+  let run =
+    match get_list [ "runs" ] json with
+    | [ r ] -> r
+    | rs -> fail "expected exactly 1 run, got %d" (List.length rs)
+  in
+  (* driver + rule catalog *)
+  if get_str [ "tool"; "driver"; "name" ] run <> "rmt-lint" then
+    fail "driver name mismatch";
+  let rules = get_list [ "tool"; "driver"; "rules" ] run in
+  if List.length rules <> List.length Rules.all then
+    fail "rule catalog incomplete: %d of %d" (List.length rules)
+      (List.length Rules.all);
+  List.iter
+    (fun r ->
+      ignore (get_str [ "id" ] r);
+      ignore (get_str [ "shortDescription"; "text" ] r);
+      ignore (get_str [ "defaultConfiguration"; "level" ] r))
+    rules;
+  (* results *)
+  let results = get_list [ "results" ] run in
+  if List.length results <> 3 then
+    fail "expected 3 results, got %d" (List.length results);
+  List.iter
+    (fun r ->
+      ignore (get_str [ "ruleId" ] r);
+      ignore (get_str [ "message"; "text" ] r);
+      let loc =
+        match get_list [ "locations" ] r with
+        | [ l ] -> l
+        | _ -> fail "expected exactly one location"
+      in
+      ignore
+        (get_str [ "physicalLocation"; "artifactLocation"; "uri" ] loc);
+      (match
+         get [ "physicalLocation"; "region"; "startLine" ] loc
+       with
+       | Sarif.Json.Int n when n >= 1 -> ()
+       | Sarif.Json.Int n -> fail "startLine %d < 1" n
+       | _ -> fail "startLine is not an integer");
+      ignore (get_str [ "partialFingerprints"; Sarif.fingerprint_key ] r))
+    results;
+  let result_for rule =
+    List.find
+      (fun r -> get_str [ "ruleId" ] r = rule)
+      results
+  in
+  (* the chained finding carries a codeFlow with both hops, in order *)
+  let flow =
+    match get_list [ "codeFlows" ] (result_for "R7") with
+    | [ f ] -> f
+    | _ -> fail "expected one codeFlow"
+  in
+  let tf =
+    match get_list [ "threadFlows" ] flow with
+    | [ t ] -> t
+    | _ -> fail "expected one threadFlow"
+  in
+  let hops = get_list [ "locations" ] tf in
+  let hop_names =
+    List.map
+      (fun h -> get_str [ "location"; "message"; "text" ] h)
+      hops
+  in
+  if hop_names <> [ "M.source"; "M.sink" ] then
+    fail "codeFlow hops wrong: %s" (String.concat ", " hop_names);
+  (* the pinned finding is suppressed with its justification *)
+  (match get_list [ "suppressions" ] (result_for "R4") with
+   | [ s ] ->
+     if get_str [ "kind" ] s <> "external" then
+       fail "suppression kind mismatch";
+     if get_str [ "justification" ] s <> "exercised only single-domain"
+     then fail "suppression justification mismatch"
+   | _ -> fail "expected one suppression on the pinned finding");
+  (* the unpinned findings carry none *)
+  (match Sarif.Json.member "suppressions" (result_for "R1") with
+   | None -> ()
+   | Some _ -> fail "fresh finding carries a suppression");
+  print_endline "sarif: structural 2.1.0 checks pass"

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json fuzz fuzz-smoke bench-check outputs examples clean
+.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json bench-sim-json fuzz fuzz-smoke sim-smoke bench-check outputs examples clean
 
 all: build
 
@@ -40,6 +40,10 @@ bench-lint-json:
 	dune build @check
 	dune exec bench/main.exe -- lint --json
 
+# Regenerate the checked-in simulator timing record (BENCH_sim.json).
+bench-sim-json:
+	dune exec bench/main.exe -- sim --json
+
 # Seeded fuzzing campaigns over instances/ (table + BENCH_attack.json).
 fuzz:
 	dune exec bench/main.exe -- attack --json
@@ -50,6 +54,17 @@ fuzz-smoke:
 	  dune exec bin/rmt_cli.exe -- fuzz --instance $$inst \
 	    --seed 2016 --attacks 500 --budget 15 \
 	    --out fuzz_reproducer_$$(basename $$inst) || exit 1; \
+	done
+
+# Time-budgeted schedule sweep per instance, as the CI sim-smoke job runs
+# it: every protocol under seeded timely schedules (where Theorem 4's
+# safety is scheduler-independent), shrunk reproducer pair on violation.
+# 4 instances x 3 protocols x 200 schedules >= 500 trials overall.
+sim-smoke:
+	for inst in instances/*.rmt; do \
+	  dune exec bin/rmt_cli.exe -- sim --instance $$inst \
+	    --seed 2016 --schedules 200 --budget 15 --shrink \
+	    --out sim_reproducer_$$(basename $$inst) || exit 1; \
 	done
 
 # Compare a fresh kernel record against the committed baseline (>25% fails).
@@ -64,6 +79,10 @@ bench-check:
 	dune exec bench/main.exe -- lint --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_lint_baseline.json \
 	  BENCH_lint.json --threshold=2.0
+	cp BENCH_sim.json /tmp/rmt_bench_sim_baseline.json
+	dune exec bench/main.exe -- sim --json
+	dune exec bench/check_regression.exe -- /tmp/rmt_bench_sim_baseline.json \
+	  BENCH_sim.json --threshold=2.0
 
 examples:
 	dune exec examples/quickstart.exe

@@ -19,7 +19,7 @@ let tracked name =
     String.length name >= lp && String.sub name 0 lp = p
   in
   has_prefix "rmt/join/" || has_prefix "rmt/reduce/"
-  || has_prefix "rmt/lint/"
+  || has_prefix "rmt/lint/" || has_prefix "rmt/sim/"
 
 let parse_micro path =
   let entries = ref [] in

@@ -1284,6 +1284,82 @@ let attack () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* SIM — simulator overhead vs the synchronous engine                  *)
+(* ------------------------------------------------------------------ *)
+
+(* json fragments filled in by [sim] and flushed by the driver *)
+let sim_json_sections : string list ref = ref []
+
+let sim () =
+  section
+    "SIM — deterministic simulator: overhead vs the engine, sweep throughput";
+  let name, inst = List.hd (attack_instances ()) in
+  Printf.printf "  instance: %s\n" name;
+  let open Bechamel in
+  let protocols =
+    Campaign.[ ("pka", Pka); ("ppa", Ppa); ("zcpa", Zcpa) ]
+  in
+  let program = Rmt_attack.Program.make ~seed:attack_seed [] in
+  (* policies are single-run values: build a fresh one inside every
+     staged run so Bechamel's repetitions stay legal *)
+  let tests =
+    List.concat_map
+      (fun (pname, p) ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "sim/engine/%s" pname)
+            (Staged.stage (fun () ->
+                 Campaign.execute p inst ~x_dealer:5 program));
+          Test.make
+            ~name:(Printf.sprintf "sim/sync/%s" pname)
+            (Staged.stage (fun () ->
+                 Rmt_sim.Sim_exec.execute ~policy:Rmt_sim.Policy.sync p inst
+                   ~x_dealer:5 program));
+          Test.make
+            ~name:(Printf.sprintf "sim/timely/%s" pname)
+            (Staged.stage (fun () ->
+                 Rmt_sim.Sim_exec.execute
+                   ~policy:
+                     (Rmt_sim.Policy.random (Prng.create 7)
+                        Rmt_sim.Policy.timely_params)
+                   p inst ~x_dealer:5 program));
+        ])
+      protocols
+  in
+  let rows = run_bechamel tests in
+  print_bechamel_rows rows;
+  (* sweep throughput: seeded (program, schedule) trials per second *)
+  let sweep_trials = 200 in
+  let report, secs =
+    Timing.time_it (fun () ->
+        Rmt_sim.Sweep.run ~domains:(sweep_domains ()) ~seed:attack_seed
+          ~schedules:sweep_trials Campaign.Pka inst)
+  in
+  let throughput = float_of_int report.Rmt_sim.Sweep.schedules /. secs in
+  Printf.printf
+    "  sweep: %d timely schedules in %.2fs (%.0f/s), %d safety violations\n"
+    report.Rmt_sim.Sweep.schedules secs throughput
+    (List.length report.Rmt_sim.Sweep.safety_violations);
+  let micro_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (bname, ns, r2) ->
+           Printf.sprintf "{\"name\": %S, \"ns_per_run\": %.1f, \"r2\": %.4f}"
+             bname ns r2)
+         rows)
+  in
+  sim_json_sections :=
+    [
+      Printf.sprintf "\"instance\": %S" name;
+      Printf.sprintf "\"micro\": [\n    %s\n  ]" micro_json;
+      Printf.sprintf
+        "\"sweep\": {\"schedules\": %d, \"seconds\": %.3f, \
+         \"per_second\": %.1f, \"safety_violations\": %d}"
+        report.Rmt_sim.Sweep.schedules secs throughput
+        (List.length report.Rmt_sim.Sweep.safety_violations);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* LINT — analyzer wall-time and cache effectiveness                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1337,7 +1413,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e2b", e2b); ("e3", e3); ("e4", e4);
     ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("ablations", ablations); ("bechamel", bechamel);
-    ("core", core); ("attack", attack); ("lint", lint);
+    ("core", core); ("attack", attack); ("sim", sim); ("lint", lint);
   ]
 
 let write_core_json () =
@@ -1355,6 +1431,14 @@ let write_attack_json () =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"rmt-bench-attack/1\",\n  %s\n}\n"
     (String.concat ",\n  " !attack_json_sections);
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
+let write_sim_json () =
+  let path = "BENCH_sim.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rmt-bench-sim/1\",\n  %s\n}\n"
+    (String.concat ",\n  " !sim_json_sections);
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
@@ -1407,4 +1491,5 @@ let () =
     names;
   if !json_mode && !core_json_sections <> [] then write_core_json ();
   if !json_mode && !attack_json_sections <> [] then write_attack_json ();
+  if !json_mode && !sim_json_sections <> [] then write_sim_json ();
   if !json_mode && !lint_json_sections <> [] then write_lint_json ()

@@ -5,6 +5,7 @@
      run       execute a protocol on a simulated network
      attack    mount the two-face indistinguishability attack
      fuzz      seeded adversarial campaign / reproducer replay
+     sim       asynchronous simulation under adversarial schedules
      dot       emit the instance as Graphviz
 
    Instances are described by three little specs:
@@ -419,6 +420,108 @@ let fuzz file seed topology adversary knowledge dealer receiver value protocol
        else `Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sim_protocols = function
+  | `Pka -> [ Rmt_attack.Campaign.Pka ]
+  | `Ppa -> [ Rmt_attack.Campaign.Ppa ]
+  | `Zcpa -> [ Rmt_attack.Campaign.Zcpa ]
+  | `Strawman -> [ Rmt_attack.Campaign.Strawman ]
+  | `All -> Rmt_attack.Campaign.[ Pka; Ppa; Zcpa ]
+
+(* Unlike the fuzz reproducer, the instance and program are kept as found:
+   the schedule's sequence numbers are anchored to the exact send pattern
+   of this (instance, program) pair, so only the schedule is shrunk. *)
+let write_sim_reproducer inst protocol ~x_dealer ~shrink
+    ((r : Rmt_attack.Campaign.run_report), sched) out =
+  let open Rmt_attack in
+  let r', sched' =
+    if shrink then
+      Rmt_sim.Sweep.shrink_violation ~budget:150 protocol ~x_dealer inst
+        (r, sched)
+    else (r, sched)
+  in
+  let replay =
+    Replay.make ~expected:r'.Campaign.verdict ~protocol ~x_dealer inst
+      r'.Campaign.program
+  in
+  match Rmt_sim.Sim_exec.write_pair ~rmt:out replay sched' with
+  | Error e -> Printf.eprintf "cannot write reproducer %s: %s\n" out e
+  | Ok sched_path ->
+    Printf.printf "reproducer pair written: %s + %s\n" out sched_path
+
+let sim file seed topology adversary knowledge dealer receiver value protocol
+    schedules bound drops budget out trace shrink replay_file =
+  let open Rmt_attack in
+  match replay_file with
+  | Some path ->
+    (match Rmt_sim.Sim_exec.load_pair ~rmt:path with
+     | Error e -> parse_error "%s" e
+     | Ok (r, sched) ->
+       let report, rendered = Rmt_sim.Sim_exec.replay r sched in
+       if trace then print_string rendered;
+       Printf.printf "replay %s + %s: verdict %s%s\n" path
+         (Rmt_sim.Sim_exec.sched_path_of path)
+         (Campaign.verdict_to_string report.Campaign.verdict)
+         (match r.Replay.expected with
+          | None -> ""
+          | Some v ->
+            Printf.sprintf " (recorded: %s)" (Campaign.verdict_to_string v));
+       if Replay.verdict_matches r report then `Ok ()
+       else `Error (false, "replayed verdict differs from the recorded one"))
+  | None ->
+    (match
+       build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+         ~receiver ()
+     with
+     | Error e -> parse_error "%s" e
+     | Ok inst ->
+       let deadline =
+         if budget <= 0 then None
+         else Some (Unix.gettimeofday () +. float_of_int budget)
+       in
+       let should_stop () =
+         match deadline with
+         | None -> false
+         | Some t -> Unix.gettimeofday () > t
+       in
+       let x_dealer = value in
+       (* timely by default: Theorem 4's safety is scheduler-independent
+          only while first deliveries stay on the synchronous timetable
+          and channels stay reliable, so the 0-violation sweeps of CI run
+          there; --bound > 1 and --drops opt into the boundary *)
+       let params =
+         let base =
+           if drops > 0 then
+             { Rmt_sim.Policy.default_params with
+               Rmt_sim.Policy.drop_budget = drops
+             }
+           else if bound > 1 then Rmt_sim.Policy.lossless_params
+           else Rmt_sim.Policy.timely_params
+         in
+         { base with Rmt_sim.Policy.delay_bound = bound }
+       in
+       let violated = ref false in
+       List.iter
+         (fun p ->
+           let report =
+             Rmt_sim.Sweep.run ~should_stop ~x_dealer ~x_fake:(x_dealer + 1)
+               ~params ~seed ~schedules p inst
+           in
+           Printf.printf "%s\n"
+             (Format.asprintf "%a" Rmt_sim.Sweep.pp_report report);
+           match report.Rmt_sim.Sweep.safety_violations with
+           | [] -> ()
+           | v :: _ ->
+             violated := true;
+             write_sim_reproducer inst p ~x_dealer ~shrink v out)
+         (sim_protocols protocol);
+       if !violated then
+         `Error (false, "safety violation found — reproducer pair written")
+       else `Ok ())
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -511,6 +614,86 @@ let fuzz_cmd =
          $ dealer_t $ receiver_t $ value_t $ protocol_t $ attacks_t $ budget_t
          $ out_t $ trace_t $ replay_t))
 
+let sim_cmd =
+  let protocol_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("pka", `Pka); ("ppa", `Ppa); ("zcpa", `Zcpa);
+               ("strawman", `Strawman); ("all", `All) ])
+          `All
+      & info [ "protocol" ] ~docv:"pka|ppa|zcpa|strawman|all")
+  in
+  let schedules_t =
+    Arg.(
+      value & opt int 200
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:"Seeded (program, schedule) trials per protocol.")
+  in
+  let bound_t =
+    Arg.(
+      value & opt int 1
+      & info [ "bound" ] ~docv:"B"
+          ~doc:
+            "Delay bound for the random delivery policy.  1 (the default) \
+             keeps every first delivery on the synchronous timetable, where \
+             protocol safety is guaranteed; larger bounds explore genuinely \
+             asynchronous schedules, where RMT-PKA safety can fail.")
+  in
+  let drops_t =
+    Arg.(
+      value & opt int 0
+      & info [ "drops" ] ~docv:"N"
+          ~doc:
+            "Per-schedule message-loss budget.  0 (the default) keeps \
+             channels reliable, matching the paper's model; positive \
+             values explore lossy schedules, where RMT-PKA safety is no \
+             longer guaranteed.")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; 0 means run all $(b,--schedules) trials.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt string "sim_reproducer.rmt"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the reproducer pair on a safety violation (the \
+             schedule lands next to it with a .sched extension).")
+  in
+  let shrink_t =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize a violating schedule before writing the pair.")
+  in
+  let replay_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a reproducer pair (FILE.rmt + FILE.sched) instead of \
+             running a sweep.")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Run protocols on the asynchronous simulator under seeded \
+          adversarial schedules (or replay a reproducer pair); exits \
+          non-zero on any safety violation")
+    Term.(
+      ret
+        (const sim $ file_t $ seed_t $ topology_t $ adversary_t $ knowledge_t
+         $ dealer_t $ receiver_t $ value_t $ protocol_t $ schedules_t
+         $ bound_t $ drops_t $ budget_t $ out_t $ trace_t $ shrink_t
+         $ replay_t))
+
 let save file seed topology adversary knowledge dealer receiver out =
   match
     build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
@@ -545,4 +728,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; run_command; attack_cmd; fuzz_cmd; dot_cmd; save_cmd ]))
+          [ analyze_cmd; run_command; attack_cmd; fuzz_cmd; sim_cmd; dot_cmd;
+            save_cmd ]))

@@ -4,15 +4,20 @@ open Rmt_net
 open Rmt_core
 open Rmt_workloads
 
-type protocol = Pka | Ppa | Zcpa
+type protocol = Pka | Ppa | Zcpa | Strawman
 
-let protocol_to_string = function Pka -> "pka" | Ppa -> "ppa" | Zcpa -> "zcpa"
+let protocol_to_string = function
+  | Pka -> "pka"
+  | Ppa -> "ppa"
+  | Zcpa -> "zcpa"
+  | Strawman -> "strawman"
 
 let protocol_of_string = function
   | "pka" -> Ok Pka
   | "ppa" -> Ok Ppa
   | "zcpa" -> Ok Zcpa
-  | s -> Error (Printf.sprintf "unknown protocol %S (pka|ppa|zcpa)" s)
+  | "strawman" -> Ok Strawman
+  | s -> Error (Printf.sprintf "unknown protocol %S (pka|ppa|zcpa|strawman)" s)
 
 type verdict =
   | Delivered
@@ -55,6 +60,10 @@ let solvability protocol (inst : Instance.t) =
     then Solvability.Solvable
     else Solvability.Unsolvable
   | Zcpa -> Solvability.ad_hoc inst
+  | Strawman ->
+    (* the strawman decides wherever PKA could: classify its (expected)
+       wrong outputs as violations exactly on PKA-solvable instances *)
+    Solvability.partial_knowledge inst
 
 let classify ~solvability ~admissible r =
   match r.verdict with
@@ -93,17 +102,43 @@ let fst3 (a, _, _) = a
 let snd3 (_, b, _) = b
 let trd3 (_, _, c) = c
 
+(* An execution backend with [Engine.run]'s interface.  The polymorphic
+   field lets one runner value serve every protocol's message type, so
+   alternative runtimes (the discrete-event simulator in lib/sim) reuse
+   the per-protocol dispatch below instead of duplicating it. *)
+type runner = {
+  run :
+    's 'm.
+    ?max_messages:int ->
+    ?size_of:('m -> int) ->
+    ?stop_when:((int -> int option) -> bool) ->
+    ?on_deliver:(round:int -> src:int -> dst:int -> 'm -> unit) ->
+    graph:Rmt_graph.Graph.t ->
+    adversary:'m Engine.strategy ->
+    ('s, 'm) Engine.automaton ->
+    ('s, 'm) Engine.outcome;
+}
+
+let engine_runner =
+  {
+    run =
+      (fun ?max_messages ?size_of ?stop_when ?on_deliver ~graph ~adversary
+           auto ->
+        Engine.run ?max_messages ?size_of ?stop_when ?on_deliver ~graph
+          ~adversary auto);
+  }
+
 (* Each protocol's run, replicated from its [run] wrapper so a trace hook
    can observe the deliveries; verdicts must stay identical to the
    wrapper's. *)
-let execute_gen ?max_messages ?on_deliver protocol (inst : Instance.t)
-    ~x_dealer (p : Program.t) =
+let execute_gen ?max_messages ?(runner = engine_runner) ?on_deliver protocol
+    (inst : Instance.t) ~x_dealer (p : Program.t) =
   match protocol with
   | Pka ->
     let adversary = Strategy_gen.compile_pka p inst ~x_dealer in
     let auto = Rmt_pka.automaton inst ~x_dealer in
     let outcome =
-      Engine.run ?max_messages ?on_deliver:(Option.map fst3 on_deliver)
+      runner.run ?max_messages ?on_deliver:(Option.map fst3 on_deliver)
         ~size_of:Rmt_pka.msg_size
         ~stop_when:(fun dec -> dec inst.receiver <> None)
         ~graph:inst.graph ~adversary auto
@@ -128,7 +163,7 @@ let execute_gen ?max_messages ?on_deliver protocol (inst : Instance.t)
         ~dealer:inst.dealer ~receiver:inst.receiver ~x_dealer
     in
     let outcome =
-      Engine.run ?max_messages ?on_deliver:(Option.map snd3 on_deliver)
+      runner.run ?max_messages ?on_deliver:(Option.map snd3 on_deliver)
         ~size_of:(fun (m : Rmt_protocols.Ppa.msg) ->
           1 + List.length m.Flood.trail)
         ~stop_when:(fun dec -> dec inst.receiver <> None)
@@ -150,7 +185,26 @@ let execute_gen ?max_messages ?on_deliver protocol (inst : Instance.t)
         inst ~x_dealer
     in
     let outcome =
-      Engine.run ?max_messages ?on_deliver:(Option.map trd3 on_deliver)
+      runner.run ?max_messages ?on_deliver:(Option.map trd3 on_deliver)
+        ~graph:inst.graph ~adversary auto
+    in
+    let decided = Engine.decision_of outcome inst.receiver in
+    {
+      program = p;
+      verdict = verdict_of ~x_dealer decided;
+      rounds = outcome.stats.rounds;
+      messages = outcome.stats.messages;
+      truncated = outcome.stats.truncated;
+    }
+  | Strawman ->
+    let adversary = Strategy_gen.compile_strawman p inst ~x_dealer in
+    let auto =
+      Rmt_protocols.Naive.first_delivery inst.graph ~dealer:inst.dealer
+        ~receiver:inst.receiver ~x_dealer
+    in
+    let outcome =
+      runner.run ?max_messages ?on_deliver:(Option.map trd3 on_deliver)
+        ~stop_when:(fun dec -> dec inst.receiver <> None)
         ~graph:inst.graph ~adversary auto
     in
     let decided = Engine.decision_of outcome inst.receiver in
@@ -162,23 +216,25 @@ let execute_gen ?max_messages ?on_deliver protocol (inst : Instance.t)
       truncated = outcome.stats.truncated;
     }
 
-let execute ?max_messages protocol inst ~x_dealer p =
-  execute_gen ?max_messages protocol inst ~x_dealer p
+let execute ?max_messages ?runner protocol inst ~x_dealer p =
+  execute_gen ?max_messages ?runner protocol inst ~x_dealer p
 
-let execute_traced ?max_messages ?max_lines protocol inst ~x_dealer p =
+let execute_traced ?max_messages ?runner ?max_lines protocol inst ~x_dealer p
+    =
   let trace_pka, hook_pka = Trace.create ~pp_payload:pp_pka_msg () in
   let trace_ppa, hook_ppa = Trace.create ~pp_payload:pp_ppa_msg () in
-  let trace_zcpa, hook_zcpa = Trace.create ~pp_payload:string_of_int () in
+  (* ints serve both Z-CPA and the strawman: same message type *)
+  let trace_int, hook_int = Trace.create ~pp_payload:string_of_int () in
   let r =
-    execute_gen ?max_messages
-      ~on_deliver:(hook_pka, hook_ppa, hook_zcpa)
+    execute_gen ?max_messages ?runner
+      ~on_deliver:(hook_pka, hook_ppa, hook_int)
       protocol inst ~x_dealer p
   in
   let trace =
     match protocol with
     | Pka -> trace_pka
     | Ppa -> trace_ppa
-    | Zcpa -> trace_zcpa
+    | Zcpa | Strawman -> trace_int
   in
   (r, Trace.render ?max_lines trace)
 

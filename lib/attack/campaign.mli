@@ -24,7 +24,16 @@
 open Rmt_core
 open Rmt_knowledge
 
-type protocol = Pka | Ppa | Zcpa
+type protocol =
+  | Pka
+  | Ppa
+  | Zcpa
+  | Strawman
+      (** {!Rmt_protocols.Naive.first_delivery}, the deliberately
+          order-sensitive receiver: safe under the synchronous engine's
+          send-ordered inboxes, violable by any scheduler that reorders
+          one channel.  The simulation campaign's control protocol; not
+          part of the default fuzzing sweeps. *)
 
 val protocol_to_string : protocol -> string
 val protocol_of_string : string -> (protocol, string) result
@@ -62,18 +71,42 @@ val classify :
   run_report ->
   classification
 
+type runner = {
+  run :
+    's 'm.
+    ?max_messages:int ->
+    ?size_of:('m -> int) ->
+    ?stop_when:((int -> int option) -> bool) ->
+    ?on_deliver:(round:int -> src:int -> dst:int -> 'm -> unit) ->
+    graph:Rmt_graph.Graph.t ->
+    adversary:'m Rmt_net.Engine.strategy ->
+    ('s, 'm) Rmt_net.Engine.automaton ->
+    ('s, 'm) Rmt_net.Engine.outcome;
+}
+(** An execution backend with {!Rmt_net.Engine.run}'s interface.  The
+    polymorphic field lets one value serve every protocol's message
+    type, so alternative runtimes (the discrete-event simulator in
+    [lib/sim]) plug into {!execute} without duplicating the
+    per-protocol dispatch. *)
+
+val engine_runner : runner
+(** The synchronous engine itself — the default backend. *)
+
 val execute :
   ?max_messages:int ->
+  ?runner:runner ->
   protocol ->
   Instance.t ->
   x_dealer:int ->
   Program.t ->
   run_report
-(** Compile the program against the protocol and run it once.
-    Deterministic in (program, instance, [x_dealer]). *)
+(** Compile the program against the protocol and run it once on
+    [runner] (default {!engine_runner}).  Deterministic in (program,
+    instance, [x_dealer], runner). *)
 
 val execute_traced :
   ?max_messages:int ->
+  ?runner:runner ->
   ?max_lines:int ->
   protocol ->
   Instance.t ->

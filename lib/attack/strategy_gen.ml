@@ -278,10 +278,12 @@ let compile_ppa (p : Program.t) (inst : Instance.t) ~x_dealer =
 (* Z-CPA                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let compile_zcpa (p : Program.t) (inst : Instance.t) ~x_dealer =
-  let g = inst.graph in
+(* Bare-value injections, shared by every protocol whose messages are
+   plain ints (Z-CPA and the strawman): trail/report forgeries degrade
+   to pushing the fake value. *)
+let int_inject g =
   let push v x sends = sends @ broadcast_msg g v x in
-  let inject v rng ~round i sends =
+  fun v rng ~round i sends ->
     match i with
     | Program.Flip_value x ->
       (* rewrite relays and push the fake once: the strongest simple lie *)
@@ -297,12 +299,19 @@ let compile_zcpa (p : Program.t) (inst : Instance.t) ~x_dealer =
         push v (Prng.int srng 100) sends
       end
       else sends
-  in
+
+let compile_zcpa (p : Program.t) (inst : Instance.t) ~x_dealer =
   compile_skeleton p
     (Zcpa.automaton
        ~decider:(Zcpa.decider_of_oracle (Zcpa.direct_oracle inst))
        inst ~x_dealer)
-    ~inject
+    ~inject:(int_inject inst.graph)
+
+let compile_strawman (p : Program.t) (inst : Instance.t) ~x_dealer =
+  compile_skeleton p
+    (Rmt_protocols.Naive.first_delivery inst.graph ~dealer:inst.dealer
+       ~receiver:inst.receiver ~x_dealer)
+    ~inject:(int_inject inst.graph)
 
 (* ------------------------------------------------------------------ *)
 (* Random program generation                                           *)

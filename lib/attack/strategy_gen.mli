@@ -36,6 +36,13 @@ val compile_zcpa :
 (** Bare-value protocol: trail/report injections degrade to pushing the
     fake value. *)
 
+val compile_strawman :
+  Program.t -> Instance.t -> x_dealer:int -> int Engine.strategy
+(** Same bare-value injection vocabulary as {!compile_zcpa}, compiled
+    against {!Rmt_protocols.Naive.first_delivery} — the deliberately
+    order-sensitive receiver the simulation campaign uses as its
+    always-violable control. *)
+
 val random :
   Prng.t -> Instance.t -> x_dealer:int -> x_fake:int -> Program.t
 (** One random attack program.  The corrupted set is drawn from the

@@ -53,6 +53,30 @@ let make g ~dealer ~x_dealer ~adopt =
   in
   Engine.{ init; step; decision }
 
+let first_delivery g ~dealer ~receiver:_ ~x_dealer =
+  let init v =
+    if v = dealer then (Dealer, broadcast g v x_dealer)
+    else
+      ( Player
+          { self = v; decided = None; sent = false; votes = Hashtbl.create 1 },
+        [] )
+  in
+  let step _v st ~round:_ ~inbox =
+    match st with
+    | Dealer -> (st, [])
+    | Player p ->
+      (if p.decided = None then
+         match inbox with
+         | (_, x) :: _ -> p.decided <- Some x
+         | [] -> ());
+      (match p.decided with
+       | Some x when not p.sent ->
+         p.sent <- true;
+         (st, broadcast g p.self x)
+       | _ -> (st, []))
+  in
+  Engine.{ init; step; decision }
+
 let first_value g ~dealer ~receiver:_ ~x_dealer =
   let adopt p =
     Hashtbl.fold

@@ -9,6 +9,16 @@ open Rmt_net
 
 type state
 
+val first_delivery :
+  Rmt_graph.Graph.t -> dealer:int -> receiver:int -> x_dealer:int ->
+  (state, int) Engine.automaton
+(** Every player adopts the {e head of its first non-empty inbox} and
+    relays it once; the receiver decides on it.  Unlike {!first_value}
+    this makes delivery {e order} the decision rule: it is deterministic
+    under the synchronous engine (inboxes arrive in send order) yet any
+    scheduler that reorders a single channel can flip its output — the
+    simulation campaign's always-violable control. *)
+
 val first_value :
   Rmt_graph.Graph.t -> dealer:int -> receiver:int -> x_dealer:int ->
   (state, int) Engine.automaton

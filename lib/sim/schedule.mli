@@ -1,0 +1,83 @@
+(** Delivery schedules — the serializable record of a simulated run's
+    scheduling choices.
+
+    The simulator numbers every scheduled message with a global sequence
+    number (the order {!Sim.run} passes sends to the delivery policy —
+    deterministic in the run).  A schedule maps sequence numbers to the
+    {e non-synchronous} decisions taken for them; every message without
+    an entry gets {!sync_decision}.  This makes the synchronous schedule
+    the empty one, and lets shrinking converge toward it entry by entry.
+
+    On-disk format ([.sched], mirrors the line-oriented [.rmt] files):
+    {v
+    # rmt schedule
+    sched-bound 3
+    sched 12 delay 3
+    sched 17 key 2
+    sched 23 drop
+    sched 30 delay 2 key 1 dup 1
+    v} *)
+
+type decision = {
+  drop : bool;  (** suppress the message entirely *)
+  delay : int;  (** rounds in flight; 1 is the synchronous next round *)
+  key : int;
+      (** per-inbox ordering key: inboxes sort by [(key, seq)], so 0
+          everywhere is FIFO in send order *)
+  dup : int option;
+      (** also deliver a copy [e] rounds after the first delivery *)
+}
+
+val sync_decision : decision
+(** [{drop = false; delay = 1; key = 0; dup = None}] — what the
+    synchronous engine does to every message. *)
+
+val drop_decision : decision
+
+val decision_is_sync : decision -> bool
+val decision_equal : decision -> decision -> bool
+
+val decision_size : decision -> int
+(** Shrinking measure of one decision: 0 iff synchronous, and strictly
+    decreased by every {!Sim_shrink} move. *)
+
+type t
+
+val make : bound:int -> (int * decision) list -> t
+(** Normalizes: canonicalizes dropped decisions, discards synchronous
+    entries, sorts by sequence number.  Raises [Invalid_argument] on a
+    negative seq/key, a delay or dup below 1, [bound < 1], or two
+    entries for the same sequence number. *)
+
+val sync : t
+(** The empty schedule with bound 1: replaying it {e is} the
+    synchronous engine, bit for bit. *)
+
+val bound : t -> int
+(** Maximum delay the recording policy could emit; replay scales the
+    default round limit by it so delayed runs are not cut short. *)
+
+val entries : t -> (int * decision) list
+(** Non-synchronous entries, sorted by sequence number. *)
+
+val decision_for : t -> int -> decision
+(** Linear lookup with {!sync_decision} default; {!Policy.of_schedule}
+    pre-hashes the entries instead when replaying. *)
+
+val size : t -> int
+(** Sum of {!decision_size} over the entries; 0 iff synchronous. *)
+
+val equal : t -> t -> bool
+
+val to_lines : t -> string list
+val of_lines : string list -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val to_file : string -> t -> (unit, string) result
+val of_file : string -> (t, string) result
+
+val is_sched_line : string -> bool
+(** Does the line belong to the schedule vocabulary?  (Mirrors
+    {!Rmt_attack.Program.is_attack_line}.) *)
+
+val pp : Format.formatter -> t -> unit

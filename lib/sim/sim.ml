@@ -1,0 +1,189 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_net
+
+(* The discrete-event counterpart of Engine.run.  Virtual time is the
+   round counter; the event queue maps delivery rounds to scheduled
+   messages.  Every semantic detail below deliberately mirrors the
+   synchronous engine — round-0 initialization, the activation rule,
+   inbox ordering, truncation and liveness accounting, decision
+   bookkeeping — because the sync-equivalence property (test/sim)
+   asserts bit-identical outcomes under Policy.sync.  When touching one
+   side, touch both. *)
+
+let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
+    ?(stop_when = fun _ -> false)
+    ?(on_deliver = fun ~round:_ ~src:_ ~dst:_ _ -> ()) ~policy ~graph
+    ~adversary automaton =
+  let nodes = Graph.nodes graph in
+  if not (Nodeset.subset adversary.Engine.corrupted nodes) then
+    invalid_arg "Sim.run: corrupted set outside the graph";
+  let honest = Nodeset.diff nodes adversary.Engine.corrupted in
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None ->
+      (* the engine's budget, stretched by the worst-case delay so a
+         delayed run can still converge *)
+      ((4 * Graph.num_nodes graph) + 8) * Policy.bound policy
+  in
+  let states = Hashtbl.create 16 in
+  let decision_rounds : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let messages = ref 0 in
+  let bits = ref 0 in
+  let per_round = ref [] in
+  (* event queue: delivery round -> (key, seq, src, dst, payload) in
+     reverse scheduling order *)
+  let due = Hashtbl.create 64 in
+  let pending = ref 0 in
+  let seq = ref 0 in
+  let schedule_at t entry =
+    (match Hashtbl.find_opt due t with
+     | Some l -> l := entry :: !l
+     | None -> Hashtbl.add due t (ref [ entry ]));
+    incr pending
+  in
+  let note_decisions round =
+    Nodeset.iter
+      (fun v ->
+        if not (Hashtbl.mem decision_rounds v) then
+          match automaton.Engine.decision (Hashtbl.find states v) with
+          | Some _ -> Hashtbl.replace decision_rounds v round
+          | None -> ())
+      honest
+  in
+  let enqueue ~is_honest ~round src sends =
+    List.iter
+      (fun { Engine.dst; payload } ->
+        if Graph.mem_edge src dst graph then begin
+          let s = !seq in
+          incr seq;
+          let d = Policy.decide policy ~seq:s ~round ~src ~dst in
+          if not d.Schedule.drop then begin
+            schedule_at (round + d.Schedule.delay)
+              (d.Schedule.key, s, src, dst, payload);
+            match d.Schedule.dup with
+            | Some extra ->
+              schedule_at
+                (round + d.Schedule.delay + extra)
+                (d.Schedule.key, s, src, dst, payload)
+            | None -> ()
+          end
+        end
+        else if is_honest then
+          invalid_arg
+            (Printf.sprintf "Sim.run: honest node %d sent to non-neighbor %d"
+               src dst))
+      sends
+  in
+  (* round 0: initialization *)
+  Nodeset.iter
+    (fun v ->
+      let st, sends = automaton.Engine.init v in
+      Hashtbl.replace states v st;
+      enqueue ~is_honest:true ~round:0 v sends)
+    honest;
+  Nodeset.iter
+    (fun v ->
+      enqueue ~is_honest:false ~round:0 v
+        (adversary.Engine.act v ~round:0 ~inbox:[]))
+    adversary.Engine.corrupted;
+  note_decisions 0;
+  per_round := 0 :: !per_round;
+  let rounds = ref 1 in
+  let decision_map v =
+    match Hashtbl.find_opt states v with
+    | None -> None
+    | Some st -> automaton.Engine.decision st
+  in
+  let live () =
+    !pending > 0 || not (Nodeset.is_empty adversary.Engine.corrupted)
+  in
+  let truncated = ref false in
+  let continue = ref (live () && not (stop_when decision_map)) in
+  while !continue && !rounds <= max_rounds && not !truncated do
+    if !messages + !pending > max_messages then truncated := true
+    else begin
+      let round = !rounds in
+      let deliveries =
+        match Hashtbl.find_opt due round with
+        | Some l ->
+          Hashtbl.remove due round;
+          !l
+        | None -> []
+      in
+      let delivered = List.length deliveries in
+      pending := !pending - delivered;
+      messages := !messages + delivered;
+      List.iter (fun (_, _, _, _, p) -> bits := !bits + size_of p) deliveries;
+      per_round := delivered :: !per_round;
+      let inbox_of =
+        let tbl = Hashtbl.create 16 in
+        (* deliveries are in reverse scheduling order; restore it, then
+           sort each inbox by (key, seq) — all-zero keys is exactly the
+           engine's send-ordered FIFO *)
+        List.iter
+          (fun (k, s, src, dst, p) ->
+            let cur = try Hashtbl.find tbl dst with Not_found -> [] in
+            Hashtbl.replace tbl dst ((k, s, src, p) :: cur))
+          deliveries;
+        fun v ->
+          match Hashtbl.find_opt tbl v with
+          | None -> []
+          | Some l ->
+            List.stable_sort
+              (fun (k1, s1, _, _) (k2, s2, _, _) ->
+                let c = Int.compare k1 k2 in
+                if c <> 0 then c else Int.compare s1 s2)
+              l
+            |> List.map (fun (_, _, src, p) -> (src, p))
+      in
+      Nodeset.iter
+        (fun v ->
+          let inbox = inbox_of v in
+          List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
+          if inbox <> [] || round = 1 then begin
+            let st = Hashtbl.find states v in
+            let st', sends = automaton.Engine.step v st ~round ~inbox in
+            Hashtbl.replace states v st';
+            enqueue ~is_honest:true ~round v sends
+          end)
+        honest;
+      Nodeset.iter
+        (fun v ->
+          let inbox = inbox_of v in
+          List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
+          enqueue ~is_honest:false ~round v (adversary.Engine.act v ~round ~inbox))
+        adversary.Engine.corrupted;
+      note_decisions round;
+      incr rounds;
+      continue := live () && not (stop_when decision_map)
+    end
+  done;
+  let decisions =
+    Nodeset.fold
+      (fun v acc ->
+        match decision_map v with Some x -> (v, x) :: acc | None -> acc)
+      honest []
+    |> List.rev
+  in
+  Engine.
+    {
+      stats =
+        {
+          rounds = !rounds;
+          messages = !messages;
+          bits = !bits;
+          per_round = Array.of_list (List.rev !per_round);
+          truncated = !truncated;
+        };
+      decisions;
+      decision_rounds =
+        Hashtbl.fold (fun v r acc -> (v, r) :: acc) decision_rounds []
+        |> List.sort (fun (v1, r1) (v2, r2) ->
+               let c = Int.compare v1 v2 in
+               if c <> 0 then c else Int.compare r1 r2);
+      states =
+        Nodeset.fold (fun v acc -> (v, Hashtbl.find states v) :: acc) honest []
+        |> List.rev;
+    }

@@ -1,0 +1,60 @@
+(* Greedy delta-debugging over a recorded schedule, mirroring
+   Rmt_attack.Shrink over programs.  Every move strictly decreases
+   Schedule.size (an entry is removed, a duplication or key vanishes, or
+   a delay shortens), so the greedy fixpoint terminates without the
+   budget; the budget only caps re-execution cost.  Candidates are
+   enumerated in a fixed order and the first acceptable one is taken, so
+   the result is deterministic in (schedule, keep). *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let candidates (s : Schedule.t) =
+  let entries = Schedule.entries s in
+  let bound = Schedule.bound s in
+  let n = List.length entries in
+  let rebuild entries' = Schedule.make ~bound entries' in
+  (* removing an entry makes that message synchronous — the biggest
+     simplification, tried first *)
+  let remove = Seq.init n (fun i -> rebuild (drop_nth entries i)) in
+  let weaken =
+    Seq.concat_map
+      (fun i ->
+        let seq_no, d = List.nth entries i in
+        let put d' =
+          rebuild
+            (List.mapi (fun j e -> if j = i then (seq_no, d') else e) entries)
+        in
+        let moves =
+          (match d.Schedule.dup with
+           | Some _ -> [ put { d with Schedule.dup = None } ]
+           | None -> [])
+          @ (if d.Schedule.key <> 0 then [ put { d with Schedule.key = 0 } ]
+             else [])
+          @
+          if d.Schedule.delay > 1 then
+            put { d with Schedule.delay = 1 }
+            :: (if d.Schedule.delay > 2 then
+                  [ put { d with Schedule.delay = (d.Schedule.delay + 1) / 2 } ]
+                else [])
+          else []
+        in
+        List.to_seq moves)
+      (Seq.init n Fun.id)
+  in
+  Seq.append remove weaken
+
+let minimize ?(budget = 400) ~keep sched =
+  let evals = ref 0 in
+  let try_keep s =
+    !evals < budget
+    && begin
+         incr evals;
+         keep s
+       end
+  in
+  let rec fix s =
+    match Seq.find try_keep (candidates s) with
+    | Some s' when !evals <= budget -> fix s'
+    | _ -> s
+  in
+  fix sched

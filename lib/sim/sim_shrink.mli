@@ -1,0 +1,20 @@
+(** Greedy shrinking of recorded schedules.
+
+    The schedule-level counterpart of {!Rmt_attack.Shrink}: starting
+    from a recorded reproducer, repeatedly apply the first
+    size-decreasing move whose result still satisfies [keep] — remove an
+    entry (the message becomes synchronous), drop a duplication, zero an
+    ordering key, shorten a delay (to 1, or halved) — until no move is
+    acceptable or the evaluation budget runs out.  Because every move
+    strictly decreases {!Schedule.size}, the fixpoint converges toward
+    the synchronous schedule; what remains is exactly the scheduling the
+    property needs.
+
+    Deterministic in (schedule, [keep]): candidates are tried in a fixed
+    order. *)
+
+val minimize :
+  ?budget:int -> keep:(Schedule.t -> bool) -> Schedule.t -> Schedule.t
+(** [budget] caps [keep] evaluations (default 400); each evaluation
+    typically re-executes a simulated run, so the budget bounds total
+    shrinking cost. *)

@@ -1,0 +1,71 @@
+(** Schedule sweeps — fuzzing the scheduler.
+
+    The simulation counterpart of {!Rmt_attack.Campaign.run}: each trial
+    draws a random attack program {e and} a random delivery schedule
+    (via a recorded {!Policy.random}), runs them together on {!Sim.run},
+    and classifies the outcome against the paper's claims.  Theorem 4's
+    safety guarantee does not depend on synchrony, so a safety violation
+    under {e any} schedule refutes it just as a synchronous one would —
+    and ships with the recorded schedule for replay.  Liveness is
+    different: delays and bounded drops can legitimately starve a
+    receiver that the synchronous engine would have served, so
+    [liveness_lost] counts are expected to be non-zero under aggressive
+    parameters and are reported, not failed, by the sweep's callers. *)
+
+open Rmt_core
+open Rmt_knowledge
+open Rmt_attack
+
+type report = {
+  protocol : Campaign.protocol;
+  seed : int;
+  schedules : int;  (** trials actually executed *)
+  solvability : Solvability.feasibility;
+  delivered : int;
+  silenced : int;
+  violated : int;
+  truncated : int;
+  liveness_lost : int;
+  safety_violations : (Campaign.run_report * Schedule.t) list;
+      (** each with the recorded (unshrunk) schedule that produced it *)
+  max_rounds_seen : int;
+  total_messages : int;
+  stopped_early : bool;
+}
+
+val run :
+  ?domains:int ->
+  ?max_messages:int ->
+  ?batch:int ->
+  ?should_stop:(unit -> bool) ->
+  ?x_dealer:int ->
+  ?x_fake:int ->
+  ?params:Policy.params ->
+  seed:int ->
+  schedules:int ->
+  Campaign.protocol ->
+  Instance.t ->
+  report
+(** Up to [schedules] (program, schedule) trials drawn from [seed],
+    batches of [batch] (default 16) fanned through
+    {!Rmt_workloads.Parsweep.map}; [should_stop] is polled between
+    batches.  Deterministic in (seed, schedules, params), independent of
+    [domains].  [params] defaults to {!Policy.timely_params} — the
+    schedule space where Theorem 4's safety is scheduler-independent;
+    pass {!Policy.lossless_params} or {!Policy.default_params} to
+    explore delays and loss too (expect rare PKA safety violations
+    there: asynchrony and loss are outside Theorem 4's model). *)
+
+val shrink_violation :
+  ?budget:int ->
+  ?max_messages:int ->
+  Campaign.protocol ->
+  x_dealer:int ->
+  Instance.t ->
+  Campaign.run_report * Schedule.t ->
+  Campaign.run_report * Schedule.t
+(** Minimize a violation's schedule with {!Sim_shrink.minimize} (the
+    program is kept fixed — its seq numbering anchors the schedule),
+    then re-execute under the shrunk schedule to refresh the report. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -105,24 +105,8 @@ let test_mimic_reuse_raises () =
 (* Generated attacks never break safety (Theorem 4 as a property)      *)
 (* ------------------------------------------------------------------ *)
 
-let arb_instance_and_seed =
-  let gen st =
-    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
-    let n = 5 + Prng.int rng 3 in
-    let g = Generators.random_connected_gnp rng n 0.5 in
-    let structure =
-      if Prng.bool rng then Builders.global_threshold g ~dealer:0 1
-      else Builders.random_antichain rng g ~dealer:0 ~sets:3 ~max_size:2
-    in
-    let inst =
-      Instance.ad_hoc_of ~graph:g ~structure ~dealer:0 ~receiver:(n - 1)
-    in
-    (inst, Prng.int rng 1_000_000)
-  in
-  QCheck.make
-    ~print:(fun (i, s) ->
-      Format.asprintf "seed %d on@ %a" s Instance.pp i)
-    gen
+(* shared across suites: test/gen *)
+let arb_instance_and_seed = Rmt_test_gen.Gen.arb_instance_and_seed
 
 let never_wrong_on_solvable protocol name =
   QCheck.Test.make ~count:40

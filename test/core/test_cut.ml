@@ -18,45 +18,9 @@ let ad_hoc_instance g ~t ~dealer ~receiver =
     ~structure:(Builders.global_threshold g ~dealer t)
     ~dealer ~receiver
 
-(* random small instance generator *)
-let arb_instance =
-  let gen st =
-    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
-    let n = 5 + Prng.int rng 4 in
-    let g = Generators.random_connected_gnp rng n 0.45 in
-    let dealer = 0 in
-    let receiver = n - 1 in
-    let kind = Prng.int rng 3 in
-    let structure =
-      match kind with
-      | 0 -> Builders.global_threshold g ~dealer 1
-      | 1 -> Builders.global_threshold g ~dealer 2
-      | _ -> Builders.random_antichain rng g ~dealer ~sets:4 ~max_size:(n / 2)
-    in
-    let view =
-      match Prng.int rng 3 with
-      | 0 -> View.ad_hoc g
-      | 1 -> View.radius 1 g
-      | _ -> View.full g
-    in
-    Instance.make ~graph:g ~structure ~view ~dealer ~receiver
-  in
-  QCheck.make
-    ~print:(fun i -> Format.asprintf "%a" Instance.pp i)
-    gen
-
-let arb_ad_hoc_instance =
-  let gen st =
-    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
-    let n = 5 + Prng.int rng 4 in
-    let g = Generators.random_connected_gnp rng n 0.45 in
-    let structure =
-      if Prng.bool rng then Builders.global_threshold g ~dealer:0 1
-      else Builders.random_antichain rng g ~dealer:0 ~sets:4 ~max_size:(n / 2)
-    in
-    Instance.ad_hoc_of ~graph:g ~structure ~dealer:0 ~receiver:(n - 1)
-  in
-  QCheck.make ~print:(fun i -> Format.asprintf "%a" Instance.pp i) gen
+(* random small instance generators, shared across suites (test/gen) *)
+let arb_instance = Rmt_test_gen.Gen.arb_instance
+let arb_ad_hoc_instance = Rmt_test_gen.Gen.arb_ad_hoc_instance
 
 (* ------------------------------------------------------------------ *)
 (* Known instances                                                     *)

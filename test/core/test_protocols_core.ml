@@ -23,19 +23,8 @@ let k4_t1 = ad_hoc (Generators.complete 4) ~t:1 ~dealer:0 ~receiver:3
 let layered3 = ad_hoc (Generators.layered ~width:3 ~depth:2) ~t:1 ~dealer:0 ~receiver:7
 let path4 = ad_hoc (Generators.path_graph 4) ~t:1 ~dealer:0 ~receiver:3
 
-(* small random ad hoc instances *)
-let arb_small_instance =
-  let gen st =
-    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
-    let n = 5 + Prng.int rng 3 in
-    let g = Generators.random_connected_gnp rng n 0.5 in
-    let structure =
-      if Prng.bool rng then Builders.global_threshold g ~dealer:0 1
-      else Builders.random_antichain rng g ~dealer:0 ~sets:3 ~max_size:2
-    in
-    Instance.ad_hoc_of ~graph:g ~structure ~dealer:0 ~receiver:(n - 1)
-  in
-  QCheck.make ~print:(fun i -> Format.asprintf "%a" Instance.pp i) gen
+(* small random ad hoc instances, shared across suites (test/gen) *)
+let arb_small_instance = Rmt_test_gen.Gen.arb_small_instance
 
 (* ------------------------------------------------------------------ *)
 (* RMT-PKA basics                                                      *)

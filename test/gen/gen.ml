@@ -1,0 +1,110 @@
+(* Shared random-instance generators for the qcheck suites.
+
+   Each generator keeps the exact sampling recipe of the suite it was
+   extracted from (node counts, edge densities, structure mixes), so the
+   distributions the properties were tuned against do not drift.  All
+   randomness flows through Prng from a qcheck-drawn seed: shrinking a
+   qcheck counterexample re-derives the same instance. *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_knowledge
+
+let print_instance i = Format.asprintf "%a" Instance.pp i
+
+(* test/core/test_cut.ml: mixed structures and views, n in 5..8 *)
+let arb_instance =
+  let gen st =
+    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
+    let n = 5 + Prng.int rng 4 in
+    let g = Generators.random_connected_gnp rng n 0.45 in
+    let dealer = 0 in
+    let receiver = n - 1 in
+    let kind = Prng.int rng 3 in
+    let structure =
+      match kind with
+      | 0 -> Builders.global_threshold g ~dealer 1
+      | 1 -> Builders.global_threshold g ~dealer 2
+      | _ -> Builders.random_antichain rng g ~dealer ~sets:4 ~max_size:(n / 2)
+    in
+    let view =
+      match Prng.int rng 3 with
+      | 0 -> View.ad_hoc g
+      | 1 -> View.radius 1 g
+      | _ -> View.full g
+    in
+    Instance.make ~graph:g ~structure ~view ~dealer ~receiver
+  in
+  QCheck.make ~print:print_instance gen
+
+(* test/core/test_cut.ml: ad hoc knowledge only, n in 5..8 *)
+let arb_ad_hoc_instance =
+  let gen st =
+    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
+    let n = 5 + Prng.int rng 4 in
+    let g = Generators.random_connected_gnp rng n 0.45 in
+    let structure =
+      if Prng.bool rng then Builders.global_threshold g ~dealer:0 1
+      else Builders.random_antichain rng g ~dealer:0 ~sets:4 ~max_size:(n / 2)
+    in
+    Instance.ad_hoc_of ~graph:g ~structure ~dealer:0 ~receiver:(n - 1)
+  in
+  QCheck.make ~print:print_instance gen
+
+(* test/core/test_protocols_core.ml: small ad hoc instances, n in 5..7 *)
+let small_instance_of_rng rng =
+  let n = 5 + Prng.int rng 3 in
+  let g = Generators.random_connected_gnp rng n 0.5 in
+  let structure =
+    if Prng.bool rng then Builders.global_threshold g ~dealer:0 1
+    else Builders.random_antichain rng g ~dealer:0 ~sets:3 ~max_size:2
+  in
+  Instance.ad_hoc_of ~graph:g ~structure ~dealer:0 ~receiver:(n - 1)
+
+let arb_small_instance =
+  let gen st =
+    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
+    small_instance_of_rng rng
+  in
+  QCheck.make ~print:print_instance gen
+
+(* test/attack/test_attack.ml: a small instance plus a campaign seed *)
+let arb_instance_and_seed =
+  let gen st =
+    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
+    let inst = small_instance_of_rng rng in
+    (inst, Prng.int rng 1_000_000)
+  in
+  QCheck.make
+    ~print:(fun (i, s) -> Format.asprintf "seed %d on@ %a" s Instance.pp i)
+    gen
+
+(* test/lint/test_runtime_determinism.ml: a random connected instance
+   with a small adversary structure over the middle nodes, resampled
+   until PKA-solvable. *)
+let random_solvable_instance seed =
+  let rng = Prng.create seed in
+  let n = 8 + Prng.int rng 4 in
+  let g = Generators.random_connected_gnp rng n 0.5 in
+  let dealer = 0 and receiver = n - 1 in
+  let ground = Nodeset.remove dealer (Graph.nodes g) in
+  let middle = Nodeset.remove receiver ground in
+  let rec go tries =
+    if tries = 0 then None
+    else
+      let sets = List.init 2 (fun _ -> Prng.sample rng middle 1) in
+      let structure = Structure.of_sets ~ground sets in
+      match
+        Instance.make ~graph:g ~structure ~view:(View.radius 2 g) ~dealer
+          ~receiver
+      with
+      | exception Invalid_argument _ -> go (tries - 1)
+      | inst ->
+        if
+          Rmt_core.Solvability.is_solvable
+            (Rmt_core.Solvability.partial_knowledge inst)
+        then Some inst
+        else go (tries - 1)
+  in
+  go 8

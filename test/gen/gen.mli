@@ -1,0 +1,32 @@
+(** Shared qcheck generators for random RMT instances.
+
+    Extracted from the per-suite copies in [test/core], [test/attack]
+    and [test/lint] so every suite samples from the same, stable
+    distributions.  Each generator documents which suite its recipe
+    came from; keep the parameters in sync with the properties that
+    were tuned against them. *)
+
+open Rmt_knowledge
+
+val arb_instance : Instance.t QCheck.arbitrary
+(** Mixed structures (thresholds 1/2, random antichains) and views
+    (ad hoc, radius 1, full) on connected G(n,0.45), n in 5..8.
+    Recipe from [test/core/test_cut.ml]. *)
+
+val arb_ad_hoc_instance : Instance.t QCheck.arbitrary
+(** Ad hoc knowledge only, same graph family as {!arb_instance}.
+    Recipe from [test/core/test_cut.ml]. *)
+
+val arb_small_instance : Instance.t QCheck.arbitrary
+(** Small ad hoc instances on connected G(n,0.5), n in 5..7.
+    Recipe from [test/core/test_protocols_core.ml]. *)
+
+val arb_instance_and_seed : (Instance.t * int) QCheck.arbitrary
+(** An {!arb_small_instance}-style instance paired with a campaign
+    seed.  Recipe from [test/attack/test_attack.ml]. *)
+
+val random_solvable_instance : int -> Instance.t option
+(** A random connected instance (n in 8..11, radius-2 views) with a
+    small adversary structure over the middle nodes, resampled up to 8
+    times until PKA-solvable; [None] if none of the samples is.
+    Recipe from [test/lint/test_runtime_determinism.ml]. *)

@@ -234,6 +234,35 @@ let test_codec_file_roundtrip () =
       | Ok inst' -> check "file roundtrip" true (Graph.equal inst.graph inst'.graph)));
   Sys.remove path
 
+let test_codec_golden_fixture () =
+  (* re-serializing a checked-in instance pins the canonical form: field
+     order, node/edge ordering, ground elision of the dealer.  If this
+     fails after an intentional format change, update the expected text
+     here and regenerate the .sched/.rmt fixtures that embed it. *)
+  match Codec.of_file "../../instances/figure1_basic.rmt" with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+    let expected =
+      "# rmt instance\n\
+       nodes 0 1 2 3 4\n\
+       edges 0-1 0-2 0-3 1-4 2-4 3-4\n\
+       dealer 0\n\
+       receiver 4\n\
+       view ad-hoc\n\
+       ground 1 2 3 4\n\
+       set 1\n\
+       set 2\n\
+       set 3\n"
+    in
+    (match Codec.to_string inst with
+     | Error m -> Alcotest.fail m
+     | Ok text ->
+       Alcotest.(check string) "canonical serialization" expected text;
+       (* canonical form is a fixpoint of parse ∘ serialize *)
+       (match Result.bind (Codec.of_string text) Codec.to_string with
+        | Error m -> Alcotest.fail m
+        | Ok text' -> Alcotest.(check string) "idempotent" text text'))
+
 (* random-instance roundtrip fuzz *)
 let qcheck_codec_roundtrip =
   QCheck.Test.make ~count:60 ~name:"codec roundtrip on random instances"
@@ -295,6 +324,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_codec_errors;
           Alcotest.test_case "custom rejected" `Quick test_codec_custom_rejected;
           Alcotest.test_case "file roundtrip" `Quick test_codec_file_roundtrip;
+          Alcotest.test_case "golden fixture" `Quick test_codec_golden_fixture;
           QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
         ] );
     ]

@@ -9,9 +9,6 @@
    diverging trace. *)
 
 open Rmt_base
-open Rmt_graph
-open Rmt_adversary
-open Rmt_knowledge
 open Rmt_attack
 
 let () =
@@ -23,32 +20,8 @@ let () =
     exit 1
 
 (* A random connected instance with a small adversary structure over the
-   middle nodes, resampled until PKA-solvable. *)
-let random_solvable_instance seed =
-  let rng = Prng.create seed in
-  let n = 8 + Prng.int rng 4 in
-  let g = Generators.random_connected_gnp rng n 0.5 in
-  let dealer = 0 and receiver = n - 1 in
-  let ground = Nodeset.remove dealer (Graph.nodes g) in
-  let middle = Nodeset.remove receiver ground in
-  let rec go tries =
-    if tries = 0 then None
-    else
-      let sets = List.init 2 (fun _ -> Prng.sample rng middle 1) in
-      let structure = Structure.of_sets ~ground sets in
-      match
-        Instance.make ~graph:g ~structure ~view:(View.radius 2 g) ~dealer
-          ~receiver
-      with
-      | exception Invalid_argument _ -> go (tries - 1)
-      | inst ->
-        if
-          Rmt_core.Solvability.is_solvable
-            (Campaign.solvability Campaign.Pka inst)
-        then Some inst
-        else go (tries - 1)
-  in
-  go 8
+   middle nodes, resampled until PKA-solvable (shared: test/gen). *)
+let random_solvable_instance = Rmt_test_gen.Gen.random_solvable_instance
 
 let solvable_seen = ref 0
 

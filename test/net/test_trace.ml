@@ -1,0 +1,91 @@
+open Rmt_net
+
+(* Trace is the observability layer behind `rmt run --trace` and the
+   simulator's trace comparison, so its recording must be an identity
+   (what the hook saw is what deliveries returns) and its rendering
+   must stay byte-stable (the sync-equivalence property compares
+   traces structurally, but humans diff renders). *)
+
+let check = Alcotest.(check bool)
+
+(* random event lists: (round, src, dst, payload) with rounds ascending
+   the way the engine emits them *)
+let arb_events =
+  QCheck.make
+    ~print:(fun evs ->
+      String.concat ";"
+        (List.map (fun (r, s, d, x) -> Printf.sprintf "(%d,%d,%d,%d)" r s d x) evs))
+    QCheck.Gen.(
+      list_size (int_bound 40)
+        (int_bound 5 >>= fun r ->
+         int_bound 9 >>= fun s ->
+         int_bound 9 >>= fun d ->
+         int_bound 99 >>= fun x -> return (r, s, d, x))
+      >|= List.sort compare)
+
+let feed events =
+  let trace, on_deliver = Trace.create ~pp_payload:string_of_int () in
+  List.iter (fun (r, s, d, x) -> on_deliver ~round:r ~src:s ~dst:d x) events;
+  trace
+
+let recording_is_identity =
+  QCheck.Test.make ~count:200 ~name:"deliveries = events fed to the hook"
+    arb_events
+    (fun events ->
+      let trace = feed events in
+      Trace.deliveries trace
+      = List.map (fun (r, s, d, x) -> (r, s, d, string_of_int x)) events
+      && Trace.num_deliveries trace = List.length events)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let render_round_count_matches =
+  QCheck.Test.make ~count:200 ~name:"render mentions every round once"
+    arb_events
+    (fun events ->
+      let rendered = Trace.render ~max_lines:10_000 (feed events) in
+      let rounds = List.sort_uniq compare (List.map (fun (r, _, _, _) -> r) events) in
+      List.for_all
+        (fun r -> contains ~needle:(Printf.sprintf "round %d (" r) rendered)
+        rounds)
+
+let test_render_golden () =
+  let trace = feed [ (1, 0, 1, 7); (1, 0, 2, 7); (2, 1, 3, 9) ] in
+  Alcotest.(check string)
+    "full render" "round 1 (2 deliveries)\n  0 -> 1  7\n  0 -> 2  7\nround 2 (1 deliveries)\n  1 -> 3  9\n"
+    (Trace.render trace);
+  (* elision: the budget runs out after the first round header + line *)
+  Alcotest.(check string)
+    "elided render" "round 1 (2 deliveries)\n  0 -> 1  7\n... elided (3 deliveries total)\n"
+    (Trace.render ~max_lines:2 trace)
+
+let test_default_payload_summary () =
+  let trace, on_deliver = Trace.create () in
+  on_deliver ~round:1 ~src:0 ~dst:1 "anything";
+  check "default summary" true (Trace.deliveries trace = [ (1, 0, 1, "\xc2\xb7") ])
+
+let test_empty_trace () =
+  let trace, _ = Trace.create () in
+  Alcotest.(check int) "no deliveries" 0 (Trace.num_deliveries trace);
+  Alcotest.(check string) "empty render" "" (Trace.render trace)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "trace"
+    [
+      ( "recording",
+        [
+          qt recording_is_identity;
+          Alcotest.test_case "default payload summary" `Quick
+            test_default_payload_summary;
+          Alcotest.test_case "empty" `Quick test_empty_trace;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "golden" `Quick test_render_golden;
+          qt render_round_count_matches;
+        ] );
+    ]

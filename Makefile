@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json bench-sim-json fuzz fuzz-smoke sim-smoke bench-check outputs examples clean
+.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json bench-sim-json fuzz fuzz-smoke sim-smoke service-smoke bench-check outputs examples clean
 
 all: build
 
@@ -67,6 +67,16 @@ sim-smoke:
 	    --out sim_reproducer_$$(basename $$inst) || exit 1; \
 	done
 
+# Replay the committed delta/query stream through the solvability
+# service and diff against the golden transcript, as the CI
+# service-smoke job runs it.
+service-smoke:
+	dune exec bin/rmt_cli.exe -- serve-solve \
+	  --instance instances/onion_solvable.rmt \
+	  --replay instances/onion_solvable.stream \
+	  > /tmp/rmt_service_smoke.out
+	diff -u instances/onion_solvable.golden /tmp/rmt_service_smoke.out
+
 # Compare a fresh kernel record against the committed baseline (>25% fails).
 # The analyzer record is wall-clock (not bechamel-sampled), so its gate is
 # deliberately loose: only a >3x blowup fails.
@@ -74,7 +84,8 @@ bench-check:
 	cp BENCH_core.json /tmp/rmt_bench_baseline.json
 	dune exec bench/main.exe -- core --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_baseline.json \
-	  BENCH_core.json --threshold=0.25
+	  BENCH_core.json --threshold=0.25 \
+	  --prefix-threshold=rmt/hc/:1.0 --prefix-threshold=rmt/delta/:1.0
 	cp BENCH_lint.json /tmp/rmt_bench_lint_baseline.json
 	dune exec bench/main.exe -- lint --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_lint_baseline.json \

@@ -2,25 +2,44 @@
 
    Compares a freshly generated BENCH_core.json against the committed
    baseline and fails when a tracked kernel (join/reduce, the antichain
-   engine's hot paths) regressed by more than the threshold.
+   engine's hot paths, plus the hash-cons and incremental-⊕ rows) regressed
+   by more than the threshold.
 
    Usage: check_regression.exe BASELINE CANDIDATE [--threshold=0.25]
+            [--prefix-threshold=PREFIX:RATIO]...
+
+   --prefix-threshold overrides the global threshold for rows whose name
+   starts with PREFIX (longest matching prefix wins; repeatable).  The
+   flag shares the global flag's semantics: a row is a regression when
+   candidate/baseline > 1 + RATIO, so RATIO=1.0 gates at 2.0x.
+
+   Baseline rows whose committed OLS fit is poor (r² < 0.5) are skipped:
+   a ratio of two noise floors gates nothing and flaps CI.  Rows without
+   an "r2" field (older records such as BENCH_lint.json) are always
+   compared.
 
    The record format is the bench harness's own output: one
-   {"name": ..., "ns_per_run": ...} object per line inside the "micro"
-   array.  No JSON library — the two files are self-printed, so a line
-   scanner is exact.
+   {"name": ..., "ns_per_run": ...[, "r2": ...]} object per line inside
+   the "micro" array.  No JSON library — the two files are self-printed,
+   so a line scanner is exact.
 
    Exit codes: 0 ok, 1 regression found, 2 usage or parse error. *)
 
-let tracked name =
-  let has_prefix p =
-    let lp = String.length p in
-    String.length name >= lp && String.sub name 0 lp = p
-  in
-  has_prefix "rmt/join/" || has_prefix "rmt/reduce/"
-  || has_prefix "rmt/lint/" || has_prefix "rmt/sim/"
+let has_prefix p name =
+  let lp = String.length p in
+  String.length name >= lp && String.sub name 0 lp = p
 
+let tracked name =
+  List.exists
+    (fun p -> has_prefix p name)
+    [
+      "rmt/join/"; "rmt/reduce/"; "rmt/lint/"; "rmt/sim/"; "rmt/hc/";
+      "rmt/delta/";
+    ]
+
+let min_r2 = 0.5
+
+(* (name, ns, r2 option) — r2 is None for the older two-field records *)
 let parse_micro path =
   let entries = ref [] in
   let ic =
@@ -33,37 +52,82 @@ let parse_micro path =
      while true do
        let line = String.trim (input_line ic) in
        (try
-          Scanf.sscanf line "{%S: %S, %S: %f"
-            (fun k name k2 ns ->
-              if k = "name" && k2 = "ns_per_run" then
-                entries := (name, ns) :: !entries)
-        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+          Scanf.sscanf line "{%S: %S, %S: %f, %S: %f"
+            (fun k name k2 ns k3 r2 ->
+              if k = "name" && k2 = "ns_per_run" && k3 = "r2" then
+                entries := (name, (ns, Some r2)) :: !entries)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          (try
+             Scanf.sscanf line "{%S: %S, %S: %f"
+               (fun k name k2 ns ->
+                 if k = "name" && k2 = "ns_per_run" then
+                   entries := (name, (ns, None)) :: !entries)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()))
      done
    with End_of_file -> close_in ic);
   List.rev !entries
 
 let () =
   let threshold = ref 0.25 in
+  let prefix_thresholds = ref [] in
   let files = ref [] in
+  let flag_arg ~flag arg =
+    let lf = String.length flag in
+    if has_prefix flag arg then
+      Some (String.sub arg lf (String.length arg - lf))
+    else None
+  in
   Array.iteri
     (fun i arg ->
       if i = 0 then ()
-      else if String.length arg > 12 && String.sub arg 0 12 = "--threshold=" then
-        match
-          float_of_string_opt (String.sub arg 12 (String.length arg - 12))
-        with
-        | Some t when t > 0. -> threshold := t
-        | _ ->
-          Printf.eprintf "invalid %S\n" arg;
-          exit 2
-      else files := arg :: !files)
+      else
+        match flag_arg ~flag:"--threshold=" arg with
+        | Some v -> (
+          match float_of_string_opt v with
+          | Some t when t > 0. -> threshold := t
+          | _ ->
+            Printf.eprintf "invalid %S\n" arg;
+            exit 2)
+        | None -> (
+          match flag_arg ~flag:"--prefix-threshold=" arg with
+          | Some v -> (
+            match String.rindex_opt v ':' with
+            | Some i
+              when i > 0
+                   && Option.fold ~none:false
+                        ~some:(fun t -> t > 0.)
+                        (float_of_string_opt
+                           (String.sub v (i + 1) (String.length v - i - 1)))
+              ->
+              prefix_thresholds :=
+                ( String.sub v 0 i,
+                  float_of_string
+                    (String.sub v (i + 1) (String.length v - i - 1)) )
+                :: !prefix_thresholds
+            | _ ->
+              Printf.eprintf "invalid %S (want PREFIX:RATIO)\n" arg;
+              exit 2)
+          | None -> files := arg :: !files))
     Sys.argv;
+  let threshold_for name =
+    (* longest matching prefix override wins; else the global threshold *)
+    List.fold_left
+      (fun acc (p, t) ->
+        if has_prefix p name then
+          match acc with
+          | Some (bp, _) when String.length bp >= String.length p -> acc
+          | _ -> Some (p, t)
+        else acc)
+      None !prefix_thresholds
+    |> Option.fold ~none:!threshold ~some:snd
+  in
   let baseline_path, candidate_path =
     match List.rev !files with
     | [ b; c ] -> (b, c)
     | _ ->
       Printf.eprintf
-        "usage: check_regression.exe BASELINE CANDIDATE [--threshold=0.25]\n";
+        "usage: check_regression.exe BASELINE CANDIDATE [--threshold=0.25] \
+         [--prefix-threshold=PREFIX:RATIO]...\n";
       exit 2
   in
   let baseline = parse_micro baseline_path in
@@ -80,22 +144,34 @@ let () =
   Printf.printf "%-28s %14s %14s %9s\n" "kernel" "baseline ns" "candidate ns"
     "ratio";
   List.iter
-    (fun (name, base_ns) ->
+    (fun (name, (base_ns, base_r2)) ->
       if tracked name then
-        match List.assoc_opt name candidate with
-        | None ->
-          (* a tracked kernel disappearing from the bench is a failure:
-             silent coverage loss looks exactly like a perf win *)
-          incr regressions;
-          Printf.printf "%-28s %14.1f %14s %9s  MISSING\n" name base_ns "-" "-"
-        | Some cand_ns ->
-          incr checked;
-          let ratio = cand_ns /. base_ns in
-          let flag = ratio > 1. +. !threshold in
-          if flag then incr regressions;
-          Printf.printf "%-28s %14.1f %14.1f %8.2fx%s\n" name base_ns cand_ns
-            ratio
-            (if flag then "  REGRESSION" else ""))
+        match base_r2 with
+        | Some r2 when r2 < min_r2 ->
+          (* the committed fit is noise: a ratio against it gates nothing.
+             Deliberately NOT counted as checked — but also not a failure:
+             the row is still present in both files, just unusable. *)
+          Printf.printf "%-28s %14.1f %14s %9s  SKIPPED (baseline r²=%.2f)\n"
+            name base_ns "-" "-" r2
+        | _ -> (
+          match List.assoc_opt name candidate with
+          | None ->
+            (* a tracked kernel disappearing from the bench is a failure:
+               silent coverage loss looks exactly like a perf win *)
+            incr regressions;
+            Printf.printf "%-28s %14.1f %14s %9s  MISSING\n" name base_ns "-"
+              "-"
+          | Some (cand_ns, _) ->
+            incr checked;
+            let t = threshold_for name in
+            let ratio = cand_ns /. base_ns in
+            let flag = ratio > 1. +. t in
+            if flag then incr regressions;
+            Printf.printf "%-28s %14.1f %14.1f %8.2fx%s\n" name base_ns
+              cand_ns ratio
+              (if flag then
+                 Printf.sprintf "  REGRESSION (>%.0f%%)" (100. *. t)
+               else "")))
     baseline;
   if !checked = 0 then begin
     Printf.eprintf "no tracked (join/reduce) kernels found in %s\n"
@@ -104,10 +180,11 @@ let () =
   end;
   if !regressions > 0 then begin
     Printf.printf
-      "\n%d kernel(s) regressed beyond %.0f%% of the committed baseline.\n"
-      !regressions (100. *. !threshold);
+      "\n%d kernel(s) regressed beyond their threshold of the committed \
+       baseline.\n"
+      !regressions;
     exit 1
   end
   else
-    Printf.printf "\nall %d tracked kernels within %.0f%% of the baseline.\n"
-      !checked (100. *. !threshold)
+    Printf.printf "\nall %d tracked kernels within threshold of the baseline.\n"
+      !checked

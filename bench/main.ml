@@ -1071,7 +1071,47 @@ let core () =
         (Staged.stage (fun () -> Cut.find_rmt_zpp_cut layered));
     ]
   in
-  let rows = run_bechamel (tests @ decider_tests) in
+  let hc_tests =
+    (* hit path: the working set is already consed (warmed below), so
+       every Hc.set is a weak-table lookup; miss path: Hc.clear first,
+       so every cons allocates a fresh canonical cell *)
+    let hc_sets =
+      match List.find_opt (fun (k, _, _, _, _) -> k = 64) inputs with
+      | Some (_, _, sets, _, _) -> sets
+      | None -> []
+    in
+    List.iter (fun z -> ignore (Hc.set z)) hc_sets;
+    [
+      Test.make ~name:"hc/cons-hit"
+        (Staged.stage (fun () ->
+             List.iter (fun z -> ignore (Hc.set z)) hc_sets));
+      Test.make ~name:"hc/cons-miss"
+        (Staged.stage (fun () ->
+             Hc.clear ();
+             List.iter (fun z -> ignore (Hc.set z)) hc_sets));
+    ]
+  in
+  let delta_tests =
+    (* single-set growth delta against the 128-antichain: the acceptance
+       comparison for join_delta is this row vs rmt/join/packed/128 *)
+    let s128 = List.assoc 128 packed in
+    let prev = Joint.join s128 s128 in
+    (* a 9-element sample can never be dominated by the size-8 antichain,
+       so the delta genuinely adds one maximal set *)
+    let s128' =
+      Structure.add_set (Prng.sample rng (Structure.ground s128) 9) s128
+    in
+    [
+      Test.make ~name:"delta/join/128"
+        (Staged.stage (fun () ->
+             Joint.join_delta ~prev ~e:s128 ~f:s128 ~e':s128' ~f':s128));
+    ]
+  in
+  (* 2s quota (vs the 0.5s default): the 16-set mem/reduce rows finish in
+     tens of ns, and at 0.5s the OLS fit on them was mush (r² ≈ 0.1) *)
+  let rows =
+    run_bechamel ~quota:2.0 (tests @ hc_tests @ delta_tests @ decider_tests)
+  in
   print_bechamel_rows rows;
   (* packed-vs-list speedups per (operation, antichain size) *)
   let ns_of name =
@@ -1100,6 +1140,14 @@ let core () =
         ])
     speedups;
   Table.print ~title:"packed antichain kernels vs the list baseline" t;
+  (* incremental ⊕ headline: join_delta on a single-set growth delta vs
+     recomputing the 128-antichain join from scratch *)
+  let delta_ns = ns_of "delta/join/128" in
+  let join128_ns = ns_of "join/packed/128" in
+  let delta_speedup = join128_ns /. delta_ns in
+  Printf.printf
+    "\njoin_delta (1 added set) %s vs join/packed/128 %s — %.1fx\n"
+    (pretty_ns delta_ns) (pretty_ns join128_ns) delta_speedup;
   (* multicore sweep scaling on the E3 classification workload *)
   let suite =
     Array.of_list (Workload.tightness_suite (Prng.create 303) ~count:60 ~n:9)
@@ -1142,6 +1190,60 @@ let core () =
          (if deterministic then "bit-for-bit identical" else "DIVERGED (bug!)")
          (Parsweep.recommended_domains ()))
     t;
+  (* streaming solvability service: a deterministic cyclic delta stream
+     toggling a same-layer edge that never touches the RMT cut, so every
+     update bumps the generation yet every query settles by revalidating
+     the previous witness (Cut.update's cheap regime) instead of
+     re-searching — the sustained updates/sec at memoized cost *)
+  let service_updates = 400 in
+  let svc_stats, svc_secs =
+    let g = Generators.layered ~width:3 ~depth:3 in
+    let inst =
+      Instance.ad_hoc_of ~graph:g
+        ~structure:(Builders.global_threshold g ~dealer:0 1)
+        ~dealer:0 ~receiver:10
+    in
+    let svc = Service.create inst in
+    (* one setup delta makes the instance unsolvable with a cut witness *)
+    (match Service.apply svc (Delta.Add_set (Nodeset.of_list [ 4; 5 ])) with
+     | Ok () -> ()
+     | Error m -> failwith ("service bench: " ^ m));
+    ignore (Service.solvable svc);
+    let (), secs =
+      Timing.time_it (fun () ->
+          for i = 0 to service_updates - 1 do
+            let d =
+              if i mod 2 = 0 then Delta.Add_edge (1, 2)
+              else Delta.Remove_edge (1, 2)
+            in
+            (match Service.apply svc d with
+             | Ok () -> ()
+             | Error m -> failwith ("service bench: " ^ m));
+            ignore (Service.solvable svc)
+          done)
+    in
+    (Service.stats svc, secs)
+  in
+  let updates_per_sec = float_of_int service_updates /. svc_secs in
+  let t =
+    Table.create
+      [ "updates"; "queries"; "wall-clock"; "updates/sec"; "witness reuse";
+        "searches" ]
+  in
+  Table.add_row t
+    [
+      Table.cell_int svc_stats.Service.updates;
+      Table.cell_int svc_stats.Service.queries;
+      Printf.sprintf "%.3f s" svc_secs;
+      Printf.sprintf "%.0f" updates_per_sec;
+      Table.cell_int svc_stats.Service.witness_reuses;
+      Table.cell_int svc_stats.Service.searches;
+    ];
+  Table.print
+    ~title:
+      "streaming solvability service — update+query round-trips at \
+       memoized cost"
+    t;
   (* machine-readable record *)
   let micro_json =
     String.concat ",\n    "
@@ -1171,11 +1273,27 @@ let core () =
               Printf.sprintf "{\"domains\": %d, \"seconds\": %.3f}" d secs)
             timings))
   in
+  let delta_json =
+    Printf.sprintf
+      "{\"delta_ns\": %.1f, \"join128_ns\": %.1f, \"speedup\": %.2f}"
+      delta_ns join128_ns delta_speedup
+  in
+  let service_json =
+    Printf.sprintf
+      "{\"updates\": %d, \"queries\": %d, \"seconds\": %.4f, \
+       \"updates_per_sec\": %.1f, \"witness_reuses\": %d, \"searches\": \
+       %d, \"cached\": %d}"
+      svc_stats.Service.updates svc_stats.Service.queries svc_secs
+      updates_per_sec svc_stats.Service.witness_reuses
+      svc_stats.Service.searches svc_stats.Service.cached
+  in
   core_json_sections :=
     [
       Printf.sprintf "\"micro\": [\n    %s\n  ]" micro_json;
       Printf.sprintf "\"kernel_speedups\": [\n    %s\n  ]" speedup_json;
+      Printf.sprintf "\"join_delta\": %s" delta_json;
       Printf.sprintf "\"sweep\": %s" sweep_json;
+      Printf.sprintf "\"service\": %s" service_json;
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -6,6 +6,7 @@
      attack    mount the two-face indistinguishability attack
      fuzz      seeded adversarial campaign / reproducer replay
      sim       asynchronous simulation under adversarial schedules
+     serve-solve  streaming solvability service over instance deltas
      dot       emit the instance as Graphviz
 
    Instances are described by three little specs:
@@ -522,6 +523,60 @@ let sim file seed topology adversary knowledge dealer receiver value protocol
        else `Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* serve-solve                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Long-lived solvability service: consume a delta/query stream (a file
+   with --replay, stdin otherwise) and answer at memoized cost.  One
+   output line per command, deterministic — CI pins a golden transcript
+   (instances/*.golden).  Exits non-zero if any command errored. *)
+let serve_solve file seed topology adversary knowledge dealer receiver
+    replay_file budget =
+  match
+    build_instance ?file ~seed ~topology ~adversary ~knowledge ~dealer
+      ~receiver ()
+  with
+  | Error e -> parse_error "%s" e
+  | Ok inst ->
+    let service = Service.create inst in
+    let budget = if budget <= 0 then None else Some budget in
+    let run ic = Service.replay ?budget service ic stdout in
+    let errors =
+      match replay_file with
+      | None -> run stdin
+      | Some path -> In_channel.with_open_text path run
+    in
+    if errors = 0 then `Ok ()
+    else parse_error "%d command(s) failed during the replay" errors
+
+let serve_solve_cmd =
+  let replay_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Read the update/query stream from a file instead of stdin \
+             (see lib/core/service.mli for the line protocol).")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Component-enumeration budget per search; 0 (the default) \
+             means exhaustive.")
+  in
+  Cmd.v
+    (Cmd.info "serve-solve"
+       ~doc:
+         "Run the streaming solvability service over a delta/query stream")
+    Term.(
+      ret
+        (const serve_solve $ file_t $ seed_t $ topology_t $ adversary_t
+         $ knowledge_t $ dealer_t $ receiver_t $ replay_t $ budget_t))
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -728,5 +783,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; run_command; attack_cmd; fuzz_cmd; sim_cmd; dot_cmd;
-            save_cmd ]))
+          [ analyze_cmd; run_command; attack_cmd; fuzz_cmd; sim_cmd;
+            serve_solve_cmd; dot_cmd; save_cmd ]))

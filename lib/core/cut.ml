@@ -139,6 +139,33 @@ let is_rmt_cut inst c1 c2 = split_ok inst c1 c2 ~condition:(zb_condition inst)
 let is_rmt_zpp_cut inst c1 c2 =
   split_ok inst c1 c2 ~condition:(local_condition inst)
 
+(* Incremental re-decision after an instance delta.  Two regimes:
+
+   - the previous witness still satisfies Definition 3 on the new
+     instance (checked directly by [is_rmt_cut], which re-derives 𝒵_B for
+     the new receiver-side component): answer in one membership-style
+     check, no enumeration.  The witness is re-rooted — its B side and
+     component may have changed — and its [cut] is [c1 ∪ c2], which can
+     be a superset of N(B) when the delta moved nodes of the old cut away
+     from the component boundary; [is_rmt_cut] accepts any separating
+     C₁ ∪ C₂, so the verdict is still exact.
+   - otherwise a full re-search.  No structural monotonicity is assumed
+     (an added edge can both create and destroy RMT-cuts depending on the
+     view function), but the re-search still amortizes through the global
+     restriction/join memos (Hc), so repeated searches over a churning
+     instance pay far less than cold ones. *)
+let update ?budget ~prev (inst : Instance.t) =
+  match prev.cut_found with
+  | Some w when is_rmt_cut inst w.c1 w.c2 ->
+    let c = Nodeset.union w.c1 w.c2 in
+    let b = Connectivity.component_of ~avoiding:c inst.graph inst.receiver in
+    ( { cut_found = Some { b_side = b; cut = c; c1 = w.c1; c2 = w.c2 };
+        complete = true;
+        visited = 0;
+      },
+      `Witness_reused )
+  | _ -> (find_rmt_cut ?budget inst, `Researched)
+
 let pp_witness ppf w =
   Format.fprintf ppf "@[<hov 2>cut %a = C1 %a ∪ C2 %a shielding B %a@]"
     Nodeset.pp w.cut Nodeset.pp w.c1 Nodeset.pp w.c2 Nodeset.pp w.b_side

@@ -62,6 +62,22 @@ val find_rmt_zpp_cut : ?budget:int -> Instance.t -> verdict
     the star of [u]; the decider itself only consults [N(u)]-restrictions,
     matching the definition. *)
 
+val update :
+  ?budget:int ->
+  prev:verdict ->
+  Instance.t ->
+  verdict * [ `Witness_reused | `Researched ]
+(** [update ~prev inst] re-decides RMT-cut existence after [inst] changed,
+    reusing [prev] (the verdict for the pre-delta instance) when possible.
+    If [prev]'s witness still satisfies Definition 3 on the new instance —
+    checked exactly via {!is_rmt_cut} — the verdict is rebuilt around it
+    in one check ([`Witness_reused], [visited = 0]; the reused witness's
+    [cut] field is [c1 ∪ c2], which may strictly contain [N(b_side)]).
+    Otherwise a full {!find_rmt_cut} runs ([`Researched]), itself
+    amortized across calls by the global restriction memo.  Either way
+    the verdict's meaning is identical to a from-scratch search:
+    solvability conclusions agree (test/core/test_incremental.ml). *)
+
 val is_rmt_cut : Instance.t -> Nodeset.t -> Nodeset.t -> bool
 (** [is_rmt_cut inst c1 c2]: checks Definition 3 directly for a concrete
     split — [c1 ∪ c2] separates [D] from [R], [c1 ∈ 𝒵], and

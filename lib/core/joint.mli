@@ -26,6 +26,30 @@ val join : Structure.t -> Structure.t -> Structure.t
 (** [join e f] is [𝓔^A ⊕ 𝓕^B] where [A], [B] are the operands' ground
     sets; the result's ground set is [A ∪ B]. *)
 
+val join_delta :
+  prev:Structure.t ->
+  e:Structure.t ->
+  f:Structure.t ->
+  e':Structure.t ->
+  f':Structure.t ->
+  Structure.t * [ `Incremental | `Recomputed ]
+(** [join_delta ~prev ~e ~f ~e' ~f'] is [join e' f'], repaired from
+    [prev = join e f] when the operands only {e grew} — same ground sets,
+    [subset_family e e'] and [subset_family f f'].  Candidates of the ⊕
+    antichain algorithm are monotone in both operands, so under growth the
+    previous antichain seeds the reduction ({!Structure.Builder.seed}) and
+    only pairs involving an added maximal set are generated:
+    O((|Δ𝓔|·|𝓕'| + |𝓔'|·|Δ𝓕|)) candidates instead of |𝓔'|·|𝓕'|.  Any other
+    delta falls back to the from-scratch join; the tag reports which path
+    ran.  Either way the result is exactly [join e' f']. *)
+
+val join_memo : Structure.t -> Structure.t -> Structure.t
+(** {!join}, memoized globally by hash-consed identity ({!Hc.memo_join}).
+    Same results as [join].  Use where repeated joins of identical
+    operands are expected across searches (the streaming service, delta
+    replays); the plain [join] stays unmemoized so benchmarks and
+    one-shot sweeps measure and pay the true cost. *)
+
 val join_list : Structure.t list -> Structure.t
 (** Folds {!join}; the empty list yields the identity [{∅}^∅]. *)
 
@@ -38,7 +62,12 @@ val restriction_cache : View.t -> Structure.t -> int -> Structure.t
     value.  The cut deciders thread one cache through their whole
     connected-subset enumeration so each node's local structure is
     restricted exactly once per search instead of once per enumerated
-    component (the restriction is the dominant per-step cost there). *)
+    component (the restriction is the dominant per-step cost there).
+    Since the hash-consing overhaul the per-call table is only a
+    node-indexed front: the restriction itself comes from the global
+    content-addressed memo ({!Hc.memo_restrict}), so repeated searches
+    over the same instance — the streaming service in particular — share
+    one computation per distinct (view nodes, structure) pair. *)
 
 val joint_structure : View.t -> Structure.t -> Nodeset.t -> Structure.t
 (** [joint_structure γ 𝒵 B] is [𝒵_B = ⊕_{v ∈ B} 𝒵^{V(γ(v))}] — what the

@@ -23,6 +23,12 @@ val feasibility_equal : feasibility -> feasibility -> bool
 val is_solvable : feasibility -> bool
 (** [is_solvable f] is [feasibility_equal f Solvable]. *)
 
+val of_verdict : Cut.verdict -> feasibility
+(** Cut existence → feasibility: a found cut is [Unsolvable], a complete
+    cut-free search is [Solvable], an exhausted budget is [Unknown].
+    Shared by the one-shot deciders below and the streaming
+    {!Service}. *)
+
 val partial_knowledge : ?budget:int -> Instance.t -> feasibility
 (** RMT-cut characterization (Theorems 3 + 5). *)
 

@@ -2,10 +2,13 @@ open Rmt_base
 open Rmt_graph
 open Rmt_adversary
 
+type kind = Full | Ad_hoc | Radius of int | Custom
+
 type t = {
   g : Graph.t;
   assign : int -> Graph.t; (* total: empty graph off the node set *)
   label : string;
+  kind : kind;
 }
 
 let guard g assign v =
@@ -19,7 +22,7 @@ let guard g assign v =
   end
   else Graph.empty
 
-let full g = { g; assign = (fun _ -> g); label = "full" }
+let full g = { g; assign = (fun _ -> g); label = "full"; kind = Full }
 
 let star_of g v =
   Nodeset.fold
@@ -28,19 +31,29 @@ let star_of g v =
     (Graph.add_node v Graph.empty)
 
 let ad_hoc g =
-  { g; assign = (fun v -> star_of g v); label = "ad-hoc" }
+  { g; assign = (fun v -> star_of g v); label = "ad-hoc"; kind = Ad_hoc }
 
 let radius k g =
   {
     g;
     assign = (fun v -> Graph.restrict_to_radius v k g);
     label = Printf.sprintf "radius-%d" k;
+    kind = Radius k;
   }
 
 let of_assignment g f =
   (* validate eagerly on all nodes so mistakes surface at construction *)
   Nodeset.iter (fun v -> ignore (guard g f v)) (Graph.nodes g);
-  { g; assign = f; label = "custom" }
+  { g; assign = f; label = "custom"; kind = Custom }
+
+let kind t = t.kind
+
+let rebuild t g =
+  match t.kind with
+  | Full -> Some (full g)
+  | Ad_hoc -> Some (ad_hoc g)
+  | Radius k -> Some (radius k g)
+  | Custom -> None
 
 let graph t = t.g
 

@@ -17,6 +17,11 @@ open Rmt_adversary
 
 type t
 
+type kind = Full | Ad_hoc | Radius of int | Custom
+(** Which constructor built a view.  [Custom] assignments are opaque
+    closures over their original graph: they cannot be transported to a
+    modified topology (see {!rebuild}). *)
+
 (** {1 Constructors} *)
 
 val full : Graph.t -> t
@@ -59,6 +64,15 @@ val leq : t -> t -> bool
 val local_structure : t -> Structure.t -> int -> Structure.t
 (** [local_structure γ 𝒵 v] is the local adversary structure
     [𝒵_v = 𝒵^{V(γ(v))}]. *)
+
+val kind : t -> kind
+
+val rebuild : t -> Graph.t -> t option
+(** [rebuild γ g'] re-derives the {e same} view constructor over a new
+    graph — the knowledge {e rule} survives a topology delta even though
+    every concrete [γ(v)] may change.  [None] for [Custom] views, whose
+    assignment closure is anchored to the original graph; instance deltas
+    ({!Rmt_core.Delta}) refuse topology updates under such views. *)
 
 val label : t -> string
 (** ["full"], ["ad-hoc"], ["radius-k"], or ["custom"] — which constructor

@@ -188,6 +188,14 @@ let is_forbidden_random name =
 
 let is_obj_magic = qualified_matches [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]
 
+(* R4 carve-out: lib/core/hc.ml is the sanctioned hash-consing home —
+   weak cons tables and bounded memo caches ARE top-level mutable state
+   by design, guarded by one global mutex (every entry point locks) and
+   exercised under a real fan-out by test/core/test_hc.ml.  The matching
+   R6 filter lives in race.ml. *)
+let r4_sanctioned file =
+  String.ends_with ~suffix:"lib/core/hc.ml" file || String.equal file "hc.ml"
+
 let r3_exempt file =
   String.ends_with ~suffix:"lib/base/prng.ml" file
   || String.equal file "prng.ml"
@@ -335,14 +343,18 @@ let check_structure ~file str =
            | id :: _ -> context := Ident.name id
            | [] -> context := "pattern");
           (match mutable_container vb.vb_expr.exp_type with
-           | Some what ->
+           | Some what when not (r4_sanctioned file) ->
              add ~loc:vb.vb_loc "R4"
                (Printf.sprintf
                   "top-level mutable state (%s) is shared across Domain \
                    fan-out; allocate per call or use Atomic"
                   what)
+           | Some _ -> ()
            | None ->
-             if record_with_mutable_field vb.vb_expr then
+             if
+               record_with_mutable_field vb.vb_expr
+               && not (r4_sanctioned file)
+             then
                add ~loc:vb.vb_loc "R4"
                  "top-level record with mutable fields is shared across \
                   Domain fan-out; allocate per call or use Atomic");

@@ -80,6 +80,87 @@ let arb_instance_and_seed =
     ~print:(fun (i, s) -> Format.asprintf "seed %d on@ %a" s Instance.pp i)
     gen
 
+(* test/core/test_incremental.ml + bench service workload: a stream of
+   valid instance deltas.  Built sequentially — each step samples delta
+   kinds against the *current* instance and keeps the first one that
+   [Delta.apply] accepts — so every prefix of the stream is replayable.
+   May return fewer than [n] deltas if the instance paints itself into a
+   corner (e.g. a custom view refusing all topology edits). *)
+let delta_stream rng inst n =
+  let open Rmt_core in
+  let sample_delta (inst : Instance.t) =
+    let g = inst.graph in
+    let nodes = Graph.nodes g in
+    match Prng.int rng 6 with
+    | 0 ->
+      let u = Prng.pick rng (Nodeset.to_array nodes) in
+      let v = Prng.pick rng (Nodeset.to_array nodes) in
+      Delta.Add_edge (u, v)
+    | 1 ->
+      let u, v = Prng.pick_list rng (Graph.edges g) in
+      Delta.Remove_edge (u, v)
+    | 2 ->
+      let fresh =
+        match Nodeset.max_elt_opt nodes with Some m -> m + 1 | None -> 0
+      in
+      Delta.Add_node (fresh, Prng.sample rng nodes (1 + Prng.int rng 2))
+    | 3 -> Delta.Remove_node (Prng.pick rng (Nodeset.to_array nodes))
+    | 4 ->
+      let ground = Nodeset.remove inst.dealer nodes in
+      Delta.Add_set (Prng.sample rng ground (1 + Prng.int rng 3))
+    | _ -> (
+      match Structure.maximal_sets inst.structure with
+      | [] -> Delta.Add_set Nodeset.empty (* retried as an applyable no-op *)
+      | maximal -> Delta.Remove_set (Prng.pick_list rng maximal))
+  in
+  let rec step inst acc n =
+    if n = 0 then List.rev acc
+    else
+      let rec try_one tries =
+        if tries = 0 then None
+        else
+          let d = sample_delta inst in
+          match Delta.apply inst d with
+          | Ok inst' -> Some (d, inst')
+          | Error _ -> try_one (tries - 1)
+      in
+      match try_one 8 with
+      | None -> List.rev acc
+      | Some (d, inst') -> step inst' (d :: acc) (n - 1)
+  in
+  step inst [] n
+
+let print_instance_and_stream (i, ds) =
+  Format.asprintf "@[<v>%a@,stream:@,%a@]" Instance.pp i
+    (Format.pp_print_list Rmt_core.Delta.pp)
+    ds
+
+(* an arb_instance-style instance (custom-free views) paired with a
+   short valid delta stream *)
+let arb_instance_with_stream =
+  let gen st =
+    let rng = Prng.create (QCheck.Gen.int_bound 1_000_000 st) in
+    let n = 5 + Prng.int rng 4 in
+    let g = Generators.random_connected_gnp rng n 0.45 in
+    let dealer = 0 in
+    let receiver = n - 1 in
+    let structure =
+      match Prng.int rng 3 with
+      | 0 -> Builders.global_threshold g ~dealer 1
+      | 1 -> Builders.global_threshold g ~dealer 2
+      | _ -> Builders.random_antichain rng g ~dealer ~sets:4 ~max_size:(n / 2)
+    in
+    let view =
+      match Prng.int rng 3 with
+      | 0 -> View.ad_hoc g
+      | 1 -> View.radius 1 g
+      | _ -> View.full g
+    in
+    let inst = Instance.make ~graph:g ~structure ~view ~dealer ~receiver in
+    (inst, delta_stream rng inst (3 + Prng.int rng 6))
+  in
+  QCheck.make ~print:print_instance_and_stream gen
+
 (* test/lint/test_runtime_determinism.ml: a random connected instance
    with a small adversary structure over the middle nodes, resampled
    until PKA-solvable. *)

@@ -25,6 +25,20 @@ val arb_instance_and_seed : (Instance.t * int) QCheck.arbitrary
 (** An {!arb_small_instance}-style instance paired with a campaign
     seed.  Recipe from [test/attack/test_attack.ml]. *)
 
+val delta_stream :
+  Rmt_base.Prng.t -> Instance.t -> int -> Rmt_core.Delta.t list
+(** [delta_stream rng inst n]: up to [n] instance deltas, each valid when
+    applied in sequence starting from [inst] (every prefix replays
+    cleanly through [Delta.apply_all]).  Mixes edge add/remove, node
+    join/crash and adversary-set add/retire; may stop short of [n] when
+    no sampled delta applies. *)
+
+val arb_instance_with_stream :
+  (Instance.t * Rmt_core.Delta.t list) QCheck.arbitrary
+(** An {!arb_instance}-style instance (ad hoc / radius-1 / full views)
+    paired with a {!delta_stream} of length 3..8.  Recipe for
+    [test/core/test_incremental.ml]. *)
+
 val random_solvable_instance : int -> Instance.t option
 (** A random connected instance (n in 8..11, radius-2 views) with a
     small adversary structure over the middle nodes, resampled up to 8

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json bench-sim-json fuzz fuzz-smoke sim-smoke service-smoke bench-check outputs examples clean
+.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json bench-sim-json bench-net-json fuzz fuzz-smoke sim-smoke service-smoke bench-check outputs examples clean
 
 all: build
 
@@ -43,6 +43,10 @@ bench-lint-json:
 # Regenerate the checked-in simulator timing record (BENCH_sim.json).
 bench-sim-json:
 	dune exec bench/main.exe -- sim --json
+
+# Regenerate the checked-in transport throughput record (BENCH_net.json).
+bench-net-json:
+	dune exec bench/main.exe -- net --json
 
 # Seeded fuzzing campaigns over instances/ (table + BENCH_attack.json).
 fuzz:
@@ -94,6 +98,10 @@ bench-check:
 	dune exec bench/main.exe -- sim --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_sim_baseline.json \
 	  BENCH_sim.json --threshold=2.0
+	cp BENCH_net.json /tmp/rmt_bench_net_baseline.json
+	dune exec bench/main.exe -- net --json
+	dune exec bench/check_regression.exe -- /tmp/rmt_bench_net_baseline.json \
+	  BENCH_net.json --prefix-threshold=rmt/net/:2.0
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,24 +1,26 @@
 open Rmt_base
 open Rmt_graph
 
-type 'm send = { dst : int; payload : 'm }
+(* The shared vocabulary lives in Transport (the explicit backend
+   contract); Engine re-exports it under the historical names so the
+   rest of the repository keeps compiling unchanged. *)
 
-type ('s, 'm) automaton = {
+type 'm send = 'm Transport.send = { dst : int; payload : 'm }
+
+type ('s, 'm) automaton = ('s, 'm) Transport.automaton = {
   init : int -> 's * 'm send list;
-  step :
-    int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  step : int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
   decision : 's -> int option;
 }
 
-type 'm strategy = {
+type 'm strategy = 'm Transport.strategy = {
   corrupted : Nodeset.t;
   act : int -> round:int -> inbox:(int * 'm) list -> 'm send list;
 }
 
-let no_adversary =
-  { corrupted = Nodeset.empty; act = (fun _ ~round:_ ~inbox:_ -> []) }
+let no_adversary = Transport.no_adversary
 
-type stats = {
+type stats = Transport.stats = {
   rounds : int;
   messages : int;
   bits : int;
@@ -26,7 +28,7 @@ type stats = {
   truncated : bool;
 }
 
-type ('s, 'm) outcome = {
+type ('s, 'm) outcome = ('s, 'm) Transport.outcome = {
   stats : stats;
   decisions : (int * int) list;
   decision_rounds : (int * int) list;
@@ -35,35 +37,23 @@ type ('s, 'm) outcome = {
 
 let decision_of outcome v = List.assoc_opt v outcome.decisions
 
-let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
-    ?(stop_when = fun _ -> false)
-    ?(on_deliver = fun ~round:_ ~src:_ ~dst:_ _ -> ()) ~graph ~adversary
-    automaton =
-  let nodes = Graph.nodes graph in
-  if not (Nodeset.subset adversary.corrupted nodes) then
-    invalid_arg "Engine.run: corrupted set outside the graph";
-  let honest = Nodeset.diff nodes adversary.corrupted in
+let run ?max_rounds ?(max_messages = Transport.default_max_messages)
+    ?(size_of = fun _ -> 1) ?(stop_when = fun _ -> false)
+    ?(on_deliver = Transport.no_deliver_hook) ~graph ~adversary automaton =
+  let roster =
+    Transport.Roster.make ~who:"Engine.run" ~graph
+      ~corrupted:adversary.corrupted
+  in
+  let honest = Transport.Roster.honest roster in
+  let corrupted = Transport.Roster.corrupted roster in
   let max_rounds =
     match max_rounds with
     | Some r -> r
-    | None -> (4 * Graph.num_nodes graph) + 8
+    | None -> Transport.default_max_rounds graph
   in
-  let states : (int, 's) Hashtbl.t = Hashtbl.create 16 in
-  let decision_rounds : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  let messages = ref 0 in
-  let bits = ref 0 in
-  let per_round = ref [] in
+  let ledger = Transport.Ledger.create ~honest ~decision:automaton.decision in
   (* in-flight messages: (src, dst, payload), to deliver next round *)
   let in_flight : (int * int * 'm) list ref = ref [] in
-  let note_decisions round =
-    Nodeset.iter
-      (fun v ->
-        if not (Hashtbl.mem decision_rounds v) then
-          match automaton.decision (Hashtbl.find states v) with
-          | Some _ -> Hashtbl.replace decision_rounds v round
-          | None -> ())
-      honest
-  in
   let enqueue ~is_honest src sends =
     List.iter
       (fun { dst; payload } ->
@@ -79,97 +69,79 @@ let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
   Nodeset.iter
     (fun v ->
       let st, sends = automaton.init v in
-      Hashtbl.replace states v st;
+      Transport.Ledger.register ledger v st;
       enqueue ~is_honest:true v sends)
     honest;
   Nodeset.iter
     (fun v -> enqueue ~is_honest:false v (adversary.act v ~round:0 ~inbox:[]))
-    adversary.corrupted;
-  note_decisions 0;
-  per_round := 0 :: !per_round;
+    corrupted;
+  Transport.Ledger.note_decisions ledger 0;
+  Transport.Ledger.count_round ledger ~delivered:0 ~bits:0;
   let rounds = ref 1 in
-  let decision_map v =
-    match Hashtbl.find_opt states v with
-    | None -> None
-    | Some st -> automaton.decision st
-  in
+  let decision_map v = Transport.Ledger.decision_map ledger v in
   (* With an active adversary we cannot infer quiescence from an empty
      in-flight queue: a corrupted node may stay silent and inject messages
      later.  In that case run until [stop_when] or [max_rounds]. *)
-  let live () =
-    !in_flight <> [] || not (Nodeset.is_empty adversary.corrupted)
-  in
-  let truncated = ref false in
+  let live () = !in_flight <> [] || not (Nodeset.is_empty corrupted) in
   let continue = ref (live () && not (stop_when decision_map)) in
-  while !continue && !rounds <= max_rounds && not !truncated do
-    if !messages + List.length !in_flight > max_messages then
-      truncated := true
+  while
+    !continue && !rounds <= max_rounds
+    && not (Transport.Ledger.truncated ledger)
+  do
+    if Transport.Ledger.messages ledger + List.length !in_flight > max_messages
+    then Transport.Ledger.truncate ledger
     else begin
-    let round = !rounds in
-    let deliveries = !in_flight in
-    in_flight := [];
-    let delivered = List.length deliveries in
-    messages := !messages + delivered;
-    List.iter (fun (_, _, p) -> bits := !bits + size_of p) deliveries;
-    per_round := delivered :: !per_round;
-    let inbox_of =
-      let tbl : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
-      (* deliveries were accumulated in reverse send order; restore it so
-         inboxes are in a deterministic, send-ordered sequence *)
-      List.iter
-        (fun (src, dst, p) ->
-          let cur = try Hashtbl.find tbl dst with Not_found -> [] in
-          Hashtbl.replace tbl dst ((src, p) :: cur))
-        deliveries;
-      fun v -> try Hashtbl.find tbl v with Not_found -> []
-    in
-    Nodeset.iter
-      (fun v ->
-        let inbox = inbox_of v in
+      let round = !rounds in
+      let deliveries = !in_flight in
+      in_flight := [];
+      let delivered = List.length deliveries in
+      let bits =
+        List.fold_left (fun acc (_, _, p) -> acc + size_of p) 0 deliveries
+      in
+      Transport.Ledger.count_round ledger ~delivered ~bits;
+      let inbox_of =
+        let tbl : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
+        (* deliveries were accumulated in reverse send order; restore it so
+           inboxes are in a deterministic, send-ordered sequence *)
         List.iter
-          (fun (src, p) -> on_deliver ~round ~src ~dst:v p)
-          inbox;
-        if inbox <> [] || round = 1 then begin
-          let st = Hashtbl.find states v in
-          let st', sends = automaton.step v st ~round ~inbox in
-          Hashtbl.replace states v st';
-          enqueue ~is_honest:true v sends
-        end)
-      honest;
-    Nodeset.iter
-      (fun v ->
-        let inbox = inbox_of v in
-        List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
-        enqueue ~is_honest:false v (adversary.act v ~round ~inbox))
-      adversary.corrupted;
-      note_decisions round;
+          (fun (src, dst, p) ->
+            let cur = try Hashtbl.find tbl dst with Not_found -> [] in
+            Hashtbl.replace tbl dst ((src, p) :: cur))
+          deliveries;
+        fun v -> try Hashtbl.find tbl v with Not_found -> []
+      in
+      Nodeset.iter
+        (fun v ->
+          let inbox = inbox_of v in
+          List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
+          if inbox <> [] || round = 1 then begin
+            let st = Transport.Ledger.state ledger v in
+            let st', sends = automaton.step v st ~round ~inbox in
+            Transport.Ledger.set_state ledger v st';
+            enqueue ~is_honest:true v sends
+          end)
+        honest;
+      Nodeset.iter
+        (fun v ->
+          let inbox = inbox_of v in
+          List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
+          enqueue ~is_honest:false v (adversary.act v ~round ~inbox))
+        corrupted;
+      Transport.Ledger.note_decisions ledger round;
       incr rounds;
       continue := live () && not (stop_when decision_map)
     end
   done;
-  let decisions =
-    Nodeset.fold
-      (fun v acc ->
-        match decision_map v with Some x -> (v, x) :: acc | None -> acc)
-      honest []
-    |> List.rev
-  in
-  {
-    stats =
-      {
-        rounds = !rounds;
-        messages = !messages;
-        bits = !bits;
-        per_round = Array.of_list (List.rev !per_round);
-        truncated = !truncated;
-      };
-    decisions;
-    decision_rounds =
-      Hashtbl.fold (fun v r acc -> (v, r) :: acc) decision_rounds []
-      |> List.sort (fun (v1, r1) (v2, r2) ->
-             let c = Int.compare v1 v2 in
-             if c <> 0 then c else Int.compare r1 r2);
-    states =
-      Nodeset.fold (fun v acc -> (v, Hashtbl.find states v) :: acc) honest []
-      |> List.rev;
-  }
+  Transport.Ledger.finalize ledger ~rounds:!rounds
+
+(* The contract instance: the engine ignores [seed] — it makes no
+   internal choices. *)
+module Backend : Transport.S = struct
+  let name = "engine"
+  let discipline = Transport.Rounds
+
+  let run ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver ?seed:_
+      ~graph ~adversary automaton =
+    run ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver ~graph
+      ~adversary automaton
+end

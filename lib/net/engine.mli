@@ -10,14 +10,19 @@
     channels.
 
     The engine is polymorphic in the message type ['m] and the per-node
-    protocol state ['s]. *)
+    protocol state ['s].
+
+    The engine is the reference implementation of the explicit
+    {!Transport.S} backend contract; the shared vocabulary below is
+    defined in {!Transport} and re-exported here under its historical
+    names. *)
 
 open Rmt_base
 open Rmt_graph
 
-type 'm send = { dst : int; payload : 'm }
+type 'm send = 'm Transport.send = { dst : int; payload : 'm }
 
-type ('s, 'm) automaton = {
+type ('s, 'm) automaton = ('s, 'm) Transport.automaton = {
   init : int -> 's * 'm send list;
       (** [init v]: initial state and round-0 sends of player [v]. *)
   step :
@@ -29,7 +34,7 @@ type ('s, 'm) automaton = {
           protocol never changes it. *)
 }
 
-type 'm strategy = {
+type 'm strategy = 'm Transport.strategy = {
   corrupted : Nodeset.t;
   act : int -> round:int -> inbox:(int * 'm) list -> 'm send list;
       (** Behavior of a corrupted player.  Round 0 is the initial round
@@ -39,7 +44,7 @@ type 'm strategy = {
 
 val no_adversary : 'm strategy
 
-type stats = {
+type stats = Transport.stats = {
   rounds : int;  (** rounds executed (including round 0) *)
   messages : int;  (** messages delivered in total *)
   bits : int;  (** sum of [size_of] over delivered messages *)
@@ -50,7 +55,7 @@ type stats = {
           truncated run must never be mistaken for a completed one *)
 }
 
-type ('s, 'm) outcome = {
+type ('s, 'm) outcome = ('s, 'm) Transport.outcome = {
   stats : stats;
   decisions : (int * int) list;  (** honest players' decided values *)
   decision_rounds : (int * int) list;
@@ -80,3 +85,8 @@ val run :
     Honest sends to non-neighbors raise [Invalid_argument] — a protocol
     bug; adversarial ones are dropped.  @raise Invalid_argument also when
     a corrupted node id is not a node of the graph. *)
+
+module Backend : Transport.S
+(** The engine as a {!Transport.S} backend ([name = "engine"],
+    per-round discipline).  [seed] is ignored: the engine makes no
+    internal choices. *)

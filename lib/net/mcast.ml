@@ -1,0 +1,458 @@
+open Rmt_base
+open Rmt_graph
+
+(* Domain-sharded synchronous runtime.
+
+   The execution model is Engine.run's — lock-step rounds, sends
+   exchanged at round boundaries — but the honest players are
+   partitioned across OCaml domains by their Roster rank, and every
+   cross-domain handoff goes through per-(source-lane, destination-
+   shard) mailboxes flushed at round barriers:
+
+     phase A  every worker drains its own mailbox *column* — the
+              batches every lane addressed to its shard last round —
+              and normalizes them into per-player inboxes, sorted by
+              the global (send-rank, emission-index) order, which is
+              exactly the sequential backends' send-ordered FIFO;
+     (coordinator: truncation check, delivery accounting, trace hooks
+              in canonical destination order, adversary inboxes)
+     phase B  every worker steps its shard's automata against those
+              inboxes and appends the resulting sends to its own
+              mailbox *row*, one batch per destination shard, plus a
+              per-(sender, round) byte count for the communication
+              accounting;
+     (coordinator: adversary actions, decision bookkeeping)
+
+   Determinism discipline (Parsweep's, adapted to a persistent pool):
+   every shared slot — a mailbox cell, a state slot, an inbox slot, a
+   per-lane counter — is written by exactly one domain per phase and
+   only read by others after the phase barrier, so no synchronization
+   beyond the barrier itself is needed and the outcome is bit-for-bit
+   the sequential engine's, for any domain count and any seed: the
+   seed only rotates the rank→shard assignment, and the (rank, index)
+   sort erases every trace of which domain did what.
+
+   The barrier is a pair of per-worker atomics (`go`, `done`): the
+   coordinator publishes a phase ticket, workers spin (Domain.cpu_relax)
+   until they observe it, execute the phase, and publish it back.
+   Everything written before the atomic store is visible after the
+   corresponding load (OCaml 5 gives SC semantics to atomics), which is
+   the only memory-ordering fact the design relies on. *)
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+type accounting = {
+  domains_used : int;
+  sent_messages : int;
+  sent_bytes : int;
+  by_sender_round : ((int * int) * int) list;
+}
+
+let bytes_of acct ~sender ~round =
+  match List.assoc_opt (sender, round) acct.by_sender_round with
+  | Some b -> b
+  | None -> 0
+
+(* One queued message.  [e_rank]/[e_idx] are the global send order —
+   sender's Roster rank, emission index within (sender, round) — the
+   sort key that reproduces the sequential inbox order.  [e_drank] is
+   the destination's rank (>= num_honest for corrupted players), cached
+   so phase A never touches the roster table. *)
+type 'm entry = {
+  e_rank : int;
+  e_idx : int;
+  e_src : int;
+  e_drank : int;
+  e_size : int;
+  e_payload : 'm;
+}
+
+let entry_order a b =
+  let c = Int.compare a.e_rank b.e_rank in
+  if c <> 0 then c else Int.compare a.e_idx b.e_idx
+
+let run_accounted ?domains ?max_rounds
+    ?(max_messages = Transport.default_max_messages) ?(size_of = fun _ -> 1)
+    ?(stop_when = fun _ -> false) ?on_deliver ?(seed = 0) ~graph ~adversary
+    automaton =
+  let roster =
+    Transport.Roster.make ~who:"Mcast.run" ~graph
+      ~corrupted:adversary.Transport.corrupted
+  in
+  let honest = Transport.Roster.honest roster in
+  let hr = Transport.Roster.honest_ranked roster in
+  let h = Array.length hr in
+  let corrupted = Array.of_list (Nodeset.elements (Transport.Roster.corrupted roster)) in
+  let c = Array.length corrupted in
+  let s =
+    let requested =
+      match domains with
+      | Some d ->
+        if d < 1 then invalid_arg "Mcast.run: domains must be >= 1";
+        d
+      | None -> recommended_domains ()
+    in
+    max 1 (min requested h)
+  in
+  let salt = ((seed mod s) + s) mod s in
+  let shard_of rank = (rank + salt) mod s in
+  let assign =
+    let buckets = Array.make s [] in
+    for rank = h - 1 downto 0 do
+      buckets.(shard_of rank) <- rank :: buckets.(shard_of rank)
+    done;
+    Array.map Array.of_list buckets
+  in
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None -> Transport.default_max_rounds graph
+  in
+  let ledger =
+    Transport.Ledger.create ~honest ~decision:automaton.Transport.decision
+  in
+  (* ---- shared cells; every slot single-writer-per-phase (see header) *)
+  (* mail.(lane).(j): batch from lane [lane] to dst shard [j].  Lanes
+     0..s-1 are the workers; lane s is the coordinator's (round-0
+     initialization and adversary sends). *)
+  let mail : 'm entry list array array =
+    Array.init (s + 1) (fun _ -> Array.make s [])
+  in
+  (* batches destined to corrupted players, one per lane; only the
+     coordinator consumes them *)
+  let adv_mail : 'm entry list array = Array.make (s + 1) [] in
+  (* per-rank inboxes for the round being delivered (phase A output) *)
+  let inboxes : (int * 'm) list array = Array.make h [] in
+  let scratch : 'm entry list array = Array.make h [] in
+  let delivered_n = Array.make s 0 in
+  let delivered_bits = Array.make s 0 in
+  let states = Array.make h None in
+  let emitted_n = Array.make (s + 1) 0 in
+  let acct : (int * int * int) list array = Array.make (s + 1) [] in
+  let failures : (int * exn) option array = Array.make s None in
+  let total_sent = ref 0 in
+  (* [submit] validates a player's sends and appends them to the lane's
+     batches.  Runs on the lane's own domain only. *)
+  let submit ~lane ~is_honest ~round src sends =
+    let rank = Transport.Roster.send_rank roster src in
+    let idx = ref 0 and bytes = ref 0 in
+    List.iter
+      (fun { Transport.dst; payload } ->
+        if Graph.mem_edge src dst graph then begin
+          let size = size_of payload in
+          let drank = Transport.Roster.send_rank roster dst in
+          let e =
+            {
+              e_rank = rank;
+              e_idx = !idx;
+              e_src = src;
+              e_drank = drank;
+              e_size = size;
+              e_payload = payload;
+            }
+          in
+          incr idx;
+          bytes := !bytes + size;
+          emitted_n.(lane) <- emitted_n.(lane) + 1;
+          if drank < h then begin
+            let j = shard_of drank in
+            mail.(lane).(j) <- e :: mail.(lane).(j)
+          end
+          else adv_mail.(lane) <- e :: adv_mail.(lane)
+        end
+        else if is_honest then
+          invalid_arg
+            (Printf.sprintf "Mcast.run: honest node %d sent to non-neighbor %d"
+               src dst))
+      sends;
+    if !bytes > 0 then acct.(lane) <- (src, round, !bytes) :: acct.(lane)
+  in
+  (* phase A (worker [w]): drain mailbox column [w] into sorted inboxes *)
+  let phase_a w _round =
+    let ranks = assign.(w) in
+    Array.iter (fun rank -> scratch.(rank) <- []) ranks;
+    let n = ref 0 and bits = ref 0 in
+    for lane = 0 to s do
+      let col = mail.(lane).(w) in
+      mail.(lane).(w) <- [];
+      List.iter
+        (fun e ->
+          incr n;
+          bits := !bits + e.e_size;
+          scratch.(e.e_drank) <- e :: scratch.(e.e_drank))
+        col
+    done;
+    Array.iter
+      (fun rank ->
+        inboxes.(rank) <-
+          List.sort entry_order scratch.(rank)
+          |> List.map (fun e -> (e.e_src, e.e_payload)))
+      ranks;
+    delivered_n.(w) <- !n;
+    delivered_bits.(w) <- !bits
+  in
+  (* phase B (worker [w]): step the shard's automata *)
+  let phase_b w round =
+    let current = ref (-1) in
+    try
+      Array.iter
+        (fun rank ->
+          current := rank;
+          let inbox = inboxes.(rank) in
+          if inbox <> [] || round = 1 then begin
+            let v = hr.(rank) in
+            let st =
+              match states.(rank) with Some st -> st | None -> assert false
+            in
+            let st', sends = automaton.Transport.step v st ~round ~inbox in
+            states.(rank) <- Some st';
+            submit ~lane:w ~is_honest:true ~round v sends
+          end)
+        assign.(w)
+    with e -> failures.(w) <- Some (!current, e)
+  in
+  (* ---- the worker pool: one barrier gate pair per worker ---- *)
+  (* A gate is an eventcount: readers spin on the atomic (the fast path
+     when every domain has its own core), then block on the condition —
+     essential when domains outnumber cores, where pure spinning turns
+     every barrier into a scheduler timeslice. *)
+  let module Gate = struct
+    type t = { cell : int Atomic.t; m : Mutex.t; c : Condition.t }
+
+    let make v = { cell = Atomic.make v; m = Mutex.create (); c = Condition.create () }
+    let spin_budget = 2000
+
+    let set g v =
+      Mutex.lock g.m;
+      Atomic.set g.cell v;
+      Condition.broadcast g.c;
+      Mutex.unlock g.m
+
+    (* wait until the gate value satisfies [until]; returns that value *)
+    let await g ~until =
+      let rec spin n =
+        let v = Atomic.get g.cell in
+        if until v then v
+        else if n < spin_budget then begin
+          Domain.cpu_relax ();
+          spin (n + 1)
+        end
+        else begin
+          Mutex.lock g.m;
+          let rec block () =
+            let v = Atomic.get g.cell in
+            if until v then v
+            else begin
+              Condition.wait g.c g.m;
+              block ()
+            end
+          in
+          let v = block () in
+          Mutex.unlock g.m;
+          v
+        end
+      in
+      spin 0
+  end in
+  let workers = max 0 (s - 1) in
+  let go = Array.init workers (fun _ -> Gate.make 0) in
+  let done_ = Array.init workers (fun _ -> Gate.make 0) in
+  (* ticket 2r = phase A of round r, 2r+1 = phase B; -1 shuts down *)
+  let exec_ticket w t =
+    let round = t lsr 1 in
+    if t land 1 = 0 then phase_a w round else phase_b w round
+  in
+  let spawned =
+    Array.init workers (fun i ->
+        Domain.spawn (fun () ->
+            let w = i + 1 in
+            let rec loop last =
+              let t = Gate.await go.(i) ~until:(fun v -> v <> last) in
+              if t <> -1 then begin
+                exec_ticket w t;
+                Gate.set done_.(i) t;
+                loop t
+              end
+            in
+            loop 0))
+  in
+  let parallel t =
+    Array.iter (fun g -> Gate.set g t) go;
+    exec_ticket 0 t;
+    Array.iter (fun d -> ignore (Gate.await d ~until:(fun v -> v = t))) done_
+  in
+  let shutdown () =
+    Array.iter (fun g -> Gate.set g (-1)) go;
+    Array.iter Domain.join spawned
+  in
+  let raise_first_failure () =
+    let first = ref None in
+    Array.iteri
+      (fun w f ->
+        match (f, !first) with
+        | Some (rank, _), Some (best, _) when rank >= best -> ()
+        | Some (rank, e), _ ->
+          first := Some (rank, e);
+          failures.(w) <- None
+        | None, _ -> ())
+      failures;
+    match !first with
+    | Some (_, e) ->
+      Array.fill failures 0 (Array.length failures) None;
+      raise e
+    | None -> ()
+  in
+  let run_rounds () =
+    (* round 0: initialization, on the coordinator, in node order — the
+       exact sequential semantics (init may be stateful) *)
+    Nodeset.iter
+      (fun v ->
+        let st, sends = automaton.Transport.init v in
+        states.(Transport.Roster.send_rank roster v) <- Some st;
+        Transport.Ledger.register ledger v st;
+        submit ~lane:s ~is_honest:true ~round:0 v sends)
+      honest;
+    Array.iter
+      (fun v ->
+        submit ~lane:s ~is_honest:false ~round:0 v
+          (adversary.Transport.act v ~round:0 ~inbox:[]))
+      corrupted;
+    Transport.Ledger.note_decisions ledger 0;
+    Transport.Ledger.count_round ledger ~delivered:0 ~bits:0;
+    let pending = ref (Array.fold_left ( + ) 0 emitted_n) in
+    total_sent := !pending;
+    let rounds = ref 1 in
+    let decision_map v = Transport.Ledger.decision_map ledger v in
+    let live () = !pending > 0 || c > 0 in
+    let continue = ref (live () && not (stop_when decision_map)) in
+    while
+      !continue && !rounds <= max_rounds
+      && not (Transport.Ledger.truncated ledger)
+    do
+      if Transport.Ledger.messages ledger + !pending > max_messages then
+        Transport.Ledger.truncate ledger
+      else begin
+        let round = !rounds in
+        (* phase A: flush mailboxes into sorted per-player inboxes *)
+        parallel (2 * round);
+        (* corrupted players' inboxes, assembled on the coordinator *)
+        let adv_buckets = Array.make c [] in
+        let adv_n = ref 0 and adv_bits = ref 0 in
+        for lane = 0 to s do
+          let l = adv_mail.(lane) in
+          adv_mail.(lane) <- [];
+          List.iter
+            (fun e ->
+              incr adv_n;
+              adv_bits := !adv_bits + e.e_size;
+              let ci = e.e_drank - h in
+              adv_buckets.(ci) <- e :: adv_buckets.(ci))
+            l
+        done;
+        let adv_inboxes =
+          Array.map
+            (fun l ->
+              List.sort entry_order l
+              |> List.map (fun e -> (e.e_src, e.e_payload)))
+            adv_buckets
+        in
+        let delivered =
+          Array.fold_left ( + ) !adv_n delivered_n
+        in
+        let bits = Array.fold_left ( + ) !adv_bits delivered_bits in
+        pending := !pending - delivered;
+        Transport.Ledger.count_round ledger ~delivered ~bits;
+        (* trace hooks, in the canonical destination order: honest
+           players in node order, then corrupted ones *)
+        (match on_deliver with
+         | None -> ()
+         | Some hook ->
+           Array.iteri
+             (fun rank dst ->
+               List.iter
+                 (fun (src, p) -> hook ~round ~src ~dst p)
+                 inboxes.(rank))
+             hr;
+           Array.iteri
+             (fun ci dst ->
+               List.iter
+                 (fun (src, p) -> hook ~round ~src ~dst p)
+                 adv_inboxes.(ci))
+             corrupted);
+        (* phase B: step the shards *)
+        Array.fill emitted_n 0 (s + 1) 0;
+        parallel ((2 * round) + 1);
+        raise_first_failure ();
+        Array.iteri
+          (fun rank st ->
+            match st with
+            | Some st -> Transport.Ledger.set_state ledger hr.(rank) st
+            | None -> assert false)
+          states;
+        (* adversary actions, sequential — strategies may be stateful *)
+        Array.iteri
+          (fun ci v ->
+            submit ~lane:s ~is_honest:false ~round v
+              (adversary.Transport.act v ~round ~inbox:adv_inboxes.(ci)))
+          corrupted;
+        let emitted = Array.fold_left ( + ) 0 emitted_n in
+        pending := !pending + emitted;
+        total_sent := !total_sent + emitted;
+        Transport.Ledger.note_decisions ledger round;
+        incr rounds;
+        continue := live () && not (stop_when decision_map)
+      end
+    done;
+    Transport.Ledger.finalize ledger ~rounds:!rounds
+  in
+  let outcome =
+    match run_rounds () with
+    | outcome ->
+      shutdown ();
+      outcome
+    | exception e ->
+      shutdown ();
+      raise e
+  in
+  let by_sender_round =
+    Array.to_list acct
+    |> List.concat_map (List.map (fun (v, r, b) -> ((v, r), b)))
+    |> List.sort (fun ((v1, r1), _) ((v2, r2), _) ->
+           let cr = Int.compare r1 r2 in
+           if cr <> 0 then cr else Int.compare v1 v2)
+  in
+  ( outcome,
+    {
+      domains_used = s;
+      sent_messages = !total_sent;
+      sent_bytes = List.fold_left (fun a (_, b) -> a + b) 0 by_sender_round;
+      by_sender_round;
+    } )
+
+let run ?domains ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver
+    ?seed ~graph ~adversary automaton =
+  fst
+    (run_accounted ?domains ?max_rounds ?max_messages ?size_of ?stop_when
+       ?on_deliver ?seed ~graph ~adversary automaton)
+
+let backend ~domains : (module Transport.S) =
+  if domains < 1 then invalid_arg "Mcast.backend: domains must be >= 1";
+  (module struct
+    let name = Printf.sprintf "mcast-%d" domains
+    let discipline = Transport.Rounds
+
+    let run ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver ?seed
+        ~graph ~adversary automaton =
+      run ~domains ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver
+        ?seed ~graph ~adversary automaton
+  end)
+
+module Backend : Transport.S = struct
+  let name = "mcast"
+  let discipline = Transport.Rounds
+
+  let run ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver ?seed
+      ~graph ~adversary automaton =
+    run ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver ?seed ~graph
+      ~adversary automaton
+end

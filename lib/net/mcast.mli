@@ -1,0 +1,96 @@
+(** Domain-sharded synchronous runtime — the third {!Transport.S}
+    backend.
+
+    Same execution model as {!Engine.run} (lock-step rounds, sends
+    delivered at the next round boundary), but honest players are
+    partitioned across OCaml domains and every round runs as two
+    parallel phases separated by spin barriers:
+
+    - {b phase A} — each worker drains its mailbox {e column} (the
+      batches every lane addressed to its shard last round) and sorts
+      each player's inbox by the global (send-rank, emission-index)
+      order — exactly the sequential engine's send-ordered FIFO;
+    - {b phase B} — each worker steps its shard's automata and appends
+      the resulting sends to its mailbox {e row}, one batch per
+      destination shard.
+
+    Round-0 initialization, trace hooks, adversary actions, and all
+    decision/statistics bookkeeping run sequentially on the
+    coordinator between barriers, in the engine's canonical order.
+
+    {b Determinism}: outcomes — stats, decisions, decision rounds,
+    states, the [on_deliver] trace — are bit-for-bit {!Engine.run}'s,
+    for {e any} domain count and {e any} seed.  The seed only rotates
+    the rank-to-shard assignment (a scheduling choice); the
+    (rank, index) sort erases every trace of which domain delivered
+    what.  The conformance suite in [test/net] pins both properties.
+
+    {b Thread-safety requirements}: the automaton's [step] must touch
+    only its own player's state (true of every protocol in this
+    repository — all mutable protocol state lives in the per-player
+    record built by [init]); [size_of] must be pure.  [init], the
+    adversary, [stop_when], and [on_deliver] run on the coordinator
+    only and may be stateful. *)
+
+open Rmt_graph
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+type accounting = {
+  domains_used : int;  (** worker count after clamping to honest players *)
+  sent_messages : int;  (** accepted (channel-valid) sends over the run *)
+  sent_bytes : int;  (** sum of [size_of] over accepted sends *)
+  by_sender_round : ((int * int) * int) list;
+      (** bytes sent per (sender, round), sorted by round then sender;
+          senders with no accepted sends in a round are absent *)
+}
+
+val bytes_of : accounting -> sender:int -> round:int -> int
+(** Bytes charged to [sender] in [round]; 0 when absent. *)
+
+val run :
+  ?domains:int ->
+  ?max_rounds:int ->
+  ?max_messages:int ->
+  ?size_of:('m -> int) ->
+  ?stop_when:((int -> int option) -> bool) ->
+  ?on_deliver:(round:int -> src:int -> dst:int -> 'm -> unit) ->
+  ?seed:int ->
+  graph:Graph.t ->
+  adversary:'m Engine.strategy ->
+  ('s, 'm) Engine.automaton ->
+  ('s, 'm) Engine.outcome
+(** See {!Engine.run} for the shared parameters.  [domains] defaults to
+    {!recommended_domains}[ ()] and is clamped to the number of honest
+    players; [seed] (default 0) rotates the shard assignment.  Raises
+    [Invalid_argument] exactly where the engine does (corrupted set
+    outside the graph, honest send to a non-neighbor) and when
+    [domains < 1].  When several shards fail in the same round, the
+    failure of the lowest-ranked player is re-raised — the one the
+    sequential engine would have hit first. *)
+
+val run_accounted :
+  ?domains:int ->
+  ?max_rounds:int ->
+  ?max_messages:int ->
+  ?size_of:('m -> int) ->
+  ?stop_when:((int -> int option) -> bool) ->
+  ?on_deliver:(round:int -> src:int -> dst:int -> 'm -> unit) ->
+  ?seed:int ->
+  graph:Graph.t ->
+  adversary:'m Engine.strategy ->
+  ('s, 'm) Engine.automaton ->
+  ('s, 'm) Engine.outcome * accounting
+(** {!run} plus the per-(sender, round) communication accounting the
+    workers collected along the way. *)
+
+val backend : domains:int -> (module Transport.S)
+(** The runtime pinned to a fixed domain count, as a first-class
+    backend ([name = "mcast-<domains>"]) — the conformance suite's way
+    of comparing domain counts.  @raise Invalid_argument when
+    [domains < 1]. *)
+
+module Backend : Transport.S
+(** The runtime at {!recommended_domains} ([name = "mcast"], per-round
+    discipline). *)

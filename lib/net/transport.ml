@@ -1,0 +1,208 @@
+(* The explicit transport contract.
+
+   Engine.run (synchronous rounds), Sim.run (discrete events) and
+   Mcast.run (Domain-sharded rounds) all execute the same protocol
+   automata; until this module existed their shared semantics — node
+   registration, round-0 initialization, the activation rule, decision
+   bookkeeping, truncation accounting — lived as three hand-synchronized
+   copies kept equal by the sync-equivalence tests.  Transport names the
+   contract once: the [S] module type is the interface every backend
+   implements (checked by the functorized conformance suite in
+   test/net/test_transport.ml), and [Roster]/[Ledger] are the shared
+   bookkeeping pieces the backends are built from, so the semantics that
+   must not drift are written exactly once. *)
+
+open Rmt_base
+open Rmt_graph
+
+(* ------------------------------------------------------------------ *)
+(* The vocabulary shared by every backend                              *)
+(* ------------------------------------------------------------------ *)
+
+type 'm send = { dst : int; payload : 'm }
+
+type ('s, 'm) automaton = {
+  init : int -> 's * 'm send list;
+  step : int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  decision : 's -> int option;
+}
+
+type 'm strategy = {
+  corrupted : Nodeset.t;
+  act : int -> round:int -> inbox:(int * 'm) list -> 'm send list;
+}
+
+let no_adversary =
+  { corrupted = Nodeset.empty; act = (fun _ ~round:_ ~inbox:_ -> []) }
+
+type stats = {
+  rounds : int;
+  messages : int;
+  bits : int;
+  per_round : int array;
+  truncated : bool;
+}
+
+type ('s, 'm) outcome = {
+  stats : stats;
+  decisions : (int * int) list;
+  decision_rounds : (int * int) list;
+  states : (int * 's) list;
+}
+
+type 'm deliver_hook = round:int -> src:int -> dst:int -> 'm -> unit
+
+let no_deliver_hook : 'm deliver_hook = fun ~round:_ ~src:_ ~dst:_ _ -> ()
+
+type discipline = Rounds | Events
+
+(* ------------------------------------------------------------------ *)
+(* The backend interface                                               *)
+(* ------------------------------------------------------------------ *)
+
+module type S = sig
+  val name : string
+  val discipline : discipline
+
+  val run :
+    ?max_rounds:int ->
+    ?max_messages:int ->
+    ?size_of:('m -> int) ->
+    ?stop_when:((int -> int option) -> bool) ->
+    ?on_deliver:'m deliver_hook ->
+    ?seed:int ->
+    graph:Graph.t ->
+    adversary:'m strategy ->
+    ('s, 'm) automaton ->
+    ('s, 'm) outcome
+end
+
+let default_max_rounds graph = (4 * Graph.num_nodes graph) + 8
+let default_max_messages = 2_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Roster — node registration                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Roster = struct
+  type t = {
+    graph : Graph.t;
+    honest : Nodeset.t;
+    corrupted : Nodeset.t;
+    honest_ranked : int array;
+    rank : (int, int) Hashtbl.t;
+  }
+
+  let make ~who ~graph ~corrupted =
+    let nodes = Graph.nodes graph in
+    if not (Nodeset.subset corrupted nodes) then
+      invalid_arg (who ^ ": corrupted set outside the graph");
+    let honest = Nodeset.diff nodes corrupted in
+    let honest_ranked = Array.of_list (Nodeset.elements honest) in
+    let rank = Hashtbl.create (Array.length honest_ranked) in
+    (* send ranks follow the backends' iteration order: honest players
+       in node order first, then corrupted ones — the key Mcast sorts
+       merged mailboxes by to reproduce the sequential send order *)
+    Array.iteri (fun i v -> Hashtbl.replace rank v i) honest_ranked;
+    let next = ref (Array.length honest_ranked) in
+    Nodeset.iter
+      (fun v ->
+        Hashtbl.replace rank v !next;
+        incr next)
+      corrupted;
+    { graph; honest; corrupted; honest_ranked; rank }
+
+  let honest t = t.honest
+  let corrupted t = t.corrupted
+  let honest_ranked t = t.honest_ranked
+  let num_honest t = Array.length t.honest_ranked
+
+  let send_rank t v =
+    match Hashtbl.find_opt t.rank v with
+    | Some r -> r
+    | None -> invalid_arg "Roster.send_rank: unregistered node"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Ledger — per-run decision and statistics bookkeeping                *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger = struct
+  type 's t = {
+    states : (int, 's) Hashtbl.t;
+    decision_rounds : (int, int) Hashtbl.t;
+    mutable messages : int;
+    mutable bits : int;
+    mutable per_round_rev : int list;
+    mutable truncated : bool;
+    honest : Nodeset.t;
+    decision : 's -> int option;
+  }
+
+  let create ~honest ~decision =
+    {
+      states = Hashtbl.create 16;
+      decision_rounds = Hashtbl.create 16;
+      messages = 0;
+      bits = 0;
+      per_round_rev = [];
+      truncated = false;
+      honest;
+      decision;
+    }
+
+  let register t v st = Hashtbl.replace t.states v st
+  let state t v = Hashtbl.find t.states v
+  let set_state = register
+
+  let decision_map t v =
+    match Hashtbl.find_opt t.states v with
+    | None -> None
+    | Some st -> t.decision st
+
+  let note_decisions t round =
+    Nodeset.iter
+      (fun v ->
+        if not (Hashtbl.mem t.decision_rounds v) then
+          match t.decision (state t v) with
+          | Some _ -> Hashtbl.replace t.decision_rounds v round
+          | None -> ())
+      t.honest
+
+  let count_round t ~delivered ~bits =
+    t.messages <- t.messages + delivered;
+    t.bits <- t.bits + bits;
+    t.per_round_rev <- delivered :: t.per_round_rev
+
+  let messages t = t.messages
+  let truncate t = t.truncated <- true
+  let truncated t = t.truncated
+
+  let finalize t ~rounds =
+    let decisions =
+      Nodeset.fold
+        (fun v acc ->
+          match decision_map t v with Some x -> (v, x) :: acc | None -> acc)
+        t.honest []
+      |> List.rev
+    in
+    {
+      stats =
+        {
+          rounds;
+          messages = t.messages;
+          bits = t.bits;
+          per_round = Array.of_list (List.rev t.per_round_rev);
+          truncated = t.truncated;
+        };
+      decisions;
+      decision_rounds =
+        Hashtbl.fold (fun v r acc -> (v, r) :: acc) t.decision_rounds []
+        |> List.sort (fun (v1, r1) (v2, r2) ->
+               let c = Int.compare v1 v2 in
+               if c <> 0 then c else Int.compare r1 r2);
+      states =
+        Nodeset.fold (fun v acc -> (v, state t v) :: acc) t.honest []
+        |> List.rev;
+    }
+end

@@ -4,34 +4,35 @@ open Rmt_net
 
 (* The discrete-event counterpart of Engine.run.  Virtual time is the
    round counter; the event queue maps delivery rounds to scheduled
-   messages.  Every semantic detail below deliberately mirrors the
-   synchronous engine — round-0 initialization, the activation rule,
-   inbox ordering, truncation and liveness accounting, decision
-   bookkeeping — because the sync-equivalence property (test/sim)
-   asserts bit-identical outcomes under Policy.sync.  When touching one
-   side, touch both. *)
+   messages.  Registration (Transport.Roster) and decision/statistics
+   bookkeeping (Transport.Ledger) are the contract's shared pieces —
+   the same code the engine runs — so only the delivery substrate
+   differs, and the sync-equivalence property (test/sim, and the
+   conformance suite in test/net) asserting bit-identical outcomes
+   under Policy.sync rests on shared code rather than on two
+   hand-synchronized copies. *)
 
-let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
-    ?(stop_when = fun _ -> false)
-    ?(on_deliver = fun ~round:_ ~src:_ ~dst:_ _ -> ()) ~policy ~graph
-    ~adversary automaton =
-  let nodes = Graph.nodes graph in
-  if not (Nodeset.subset adversary.Engine.corrupted nodes) then
-    invalid_arg "Sim.run: corrupted set outside the graph";
-  let honest = Nodeset.diff nodes adversary.Engine.corrupted in
+let run ?max_rounds ?(max_messages = Transport.default_max_messages)
+    ?(size_of = fun _ -> 1) ?(stop_when = fun _ -> false)
+    ?(on_deliver = Transport.no_deliver_hook) ~policy ~graph ~adversary
+    automaton =
+  let roster =
+    Transport.Roster.make ~who:"Sim.run" ~graph
+      ~corrupted:adversary.Engine.corrupted
+  in
+  let honest = Transport.Roster.honest roster in
+  let corrupted = Transport.Roster.corrupted roster in
   let max_rounds =
     match max_rounds with
     | Some r -> r
     | None ->
       (* the engine's budget, stretched by the worst-case delay so a
          delayed run can still converge *)
-      ((4 * Graph.num_nodes graph) + 8) * Policy.bound policy
+      Transport.default_max_rounds graph * Policy.bound policy
   in
-  let states = Hashtbl.create 16 in
-  let decision_rounds : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  let messages = ref 0 in
-  let bits = ref 0 in
-  let per_round = ref [] in
+  let ledger =
+    Transport.Ledger.create ~honest ~decision:automaton.Engine.decision
+  in
   (* event queue: delivery round -> (key, seq, src, dst, payload) in
      reverse scheduling order *)
   let due = Hashtbl.create 64 in
@@ -42,15 +43,6 @@ let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
      | Some l -> l := entry :: !l
      | None -> Hashtbl.add due t (ref [ entry ]));
     incr pending
-  in
-  let note_decisions round =
-    Nodeset.iter
-      (fun v ->
-        if not (Hashtbl.mem decision_rounds v) then
-          match automaton.Engine.decision (Hashtbl.find states v) with
-          | Some _ -> Hashtbl.replace decision_rounds v round
-          | None -> ())
-      honest
   in
   let enqueue ~is_honest ~round src sends =
     List.iter
@@ -80,29 +72,26 @@ let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
   Nodeset.iter
     (fun v ->
       let st, sends = automaton.Engine.init v in
-      Hashtbl.replace states v st;
+      Transport.Ledger.register ledger v st;
       enqueue ~is_honest:true ~round:0 v sends)
     honest;
   Nodeset.iter
     (fun v ->
       enqueue ~is_honest:false ~round:0 v
         (adversary.Engine.act v ~round:0 ~inbox:[]))
-    adversary.Engine.corrupted;
-  note_decisions 0;
-  per_round := 0 :: !per_round;
+    corrupted;
+  Transport.Ledger.note_decisions ledger 0;
+  Transport.Ledger.count_round ledger ~delivered:0 ~bits:0;
   let rounds = ref 1 in
-  let decision_map v =
-    match Hashtbl.find_opt states v with
-    | None -> None
-    | Some st -> automaton.Engine.decision st
-  in
-  let live () =
-    !pending > 0 || not (Nodeset.is_empty adversary.Engine.corrupted)
-  in
-  let truncated = ref false in
+  let decision_map v = Transport.Ledger.decision_map ledger v in
+  let live () = !pending > 0 || not (Nodeset.is_empty corrupted) in
   let continue = ref (live () && not (stop_when decision_map)) in
-  while !continue && !rounds <= max_rounds && not !truncated do
-    if !messages + !pending > max_messages then truncated := true
+  while
+    !continue && !rounds <= max_rounds
+    && not (Transport.Ledger.truncated ledger)
+  do
+    if Transport.Ledger.messages ledger + !pending > max_messages then
+      Transport.Ledger.truncate ledger
     else begin
       let round = !rounds in
       let deliveries =
@@ -114,9 +103,12 @@ let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
       in
       let delivered = List.length deliveries in
       pending := !pending - delivered;
-      messages := !messages + delivered;
-      List.iter (fun (_, _, _, _, p) -> bits := !bits + size_of p) deliveries;
-      per_round := delivered :: !per_round;
+      let bits =
+        List.fold_left
+          (fun acc (_, _, _, _, p) -> acc + size_of p)
+          0 deliveries
+      in
+      Transport.Ledger.count_round ledger ~delivered ~bits;
       let inbox_of =
         let tbl = Hashtbl.create 16 in
         (* deliveries are in reverse scheduling order; restore it, then
@@ -143,9 +135,9 @@ let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
           let inbox = inbox_of v in
           List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
           if inbox <> [] || round = 1 then begin
-            let st = Hashtbl.find states v in
+            let st = Transport.Ledger.state ledger v in
             let st', sends = automaton.Engine.step v st ~round ~inbox in
-            Hashtbl.replace states v st';
+            Transport.Ledger.set_state ledger v st';
             enqueue ~is_honest:true ~round v sends
           end)
         honest;
@@ -153,37 +145,26 @@ let run ?max_rounds ?(max_messages = 2_000_000) ?(size_of = fun _ -> 1)
         (fun v ->
           let inbox = inbox_of v in
           List.iter (fun (src, p) -> on_deliver ~round ~src ~dst:v p) inbox;
-          enqueue ~is_honest:false ~round v (adversary.Engine.act v ~round ~inbox))
-        adversary.Engine.corrupted;
-      note_decisions round;
+          enqueue ~is_honest:false ~round v
+            (adversary.Engine.act v ~round ~inbox))
+        corrupted;
+      Transport.Ledger.note_decisions ledger round;
       incr rounds;
       continue := live () && not (stop_when decision_map)
     end
   done;
-  let decisions =
-    Nodeset.fold
-      (fun v acc ->
-        match decision_map v with Some x -> (v, x) :: acc | None -> acc)
-      honest []
-    |> List.rev
-  in
-  Engine.
-    {
-      stats =
-        {
-          rounds = !rounds;
-          messages = !messages;
-          bits = !bits;
-          per_round = Array.of_list (List.rev !per_round);
-          truncated = !truncated;
-        };
-      decisions;
-      decision_rounds =
-        Hashtbl.fold (fun v r acc -> (v, r) :: acc) decision_rounds []
-        |> List.sort (fun (v1, r1) (v2, r2) ->
-               let c = Int.compare v1 v2 in
-               if c <> 0 then c else Int.compare r1 r2);
-      states =
-        Nodeset.fold (fun v acc -> (v, Hashtbl.find states v) :: acc) honest []
-        |> List.rev;
-    }
+  Transport.Ledger.finalize ledger ~rounds:!rounds
+
+(* The contract instance: the simulator pinned to its synchronous
+   scheduler.  Policy.sync is stateless, so one value serves every run;
+   [seed] is ignored — under the sync policy there is nothing left to
+   choose. *)
+module Sync_backend : Transport.S = struct
+  let name = "sim-sync"
+  let discipline = Transport.Events
+
+  let run ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver ?seed:_
+      ~graph ~adversary automaton =
+    run ?max_rounds ?max_messages ?size_of ?stop_when ?on_deliver
+      ~policy:Policy.sync ~graph ~adversary automaton
+end

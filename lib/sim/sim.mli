@@ -46,3 +46,9 @@ val run :
     (see {!Policy}).  Raises [Invalid_argument] exactly where the engine
     does: a corrupted set outside the graph, or an honest send to a
     non-neighbor. *)
+
+module Sync_backend : Rmt_net.Transport.S
+(** The simulator pinned to {!Policy.sync} as a {!Rmt_net.Transport.S}
+    backend ([name = "sim-sync"], per-event discipline).  By the
+    sync-equivalence property its outcomes are byte-identical to
+    {!Rmt_net.Engine.Backend}'s. *)

@@ -1,0 +1,17 @@
+(* Mcast-style per-domain mailbox fan-out in an UNSANCTIONED file — R6
+   must still fire.  The sanctioned-capture carve-out in race.ml is
+   keyed to lib/net/mcast.ml alone; the identical shape anywhere else
+   (a mailbox matrix captured by Domain.spawn closures) stays a
+   finding, so the carve-out cannot silently widen. *)
+
+let exchange xs =
+  let mail : int list array array = Array.make_matrix 4 4 [] in
+  let workers =
+    Array.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            List.iteri
+              (fun i x -> mail.(w).(i mod 4) <- x :: mail.(w).(i mod 4))
+              xs))
+  in
+  Array.iter Domain.join workers;
+  mail

@@ -1,0 +1,1 @@
+val exchange : int list -> int list array array

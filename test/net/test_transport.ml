@@ -1,0 +1,233 @@
+(* Conformance suite for the Transport backend contract (lib/net).
+
+   Every Transport.S implementation — the synchronous engine, the
+   discrete-event simulator pinned to Policy.sync, and the
+   Domain-sharded mcast runtime — must produce byte-identical outcomes
+   on the same inputs: same run report (verdict, rounds, messages,
+   truncation) and same rendered delivery trace.  Pinned over every
+   checked-in instance, the three paper protocols, and a small family
+   of attack programs; plus qcheck properties that the mcast runtime's
+   outcome is independent of the domain count and of the sharding
+   seed, and direct unit tests of its accounting and failure
+   semantics. *)
+
+open Rmt_base
+open Rmt_graph
+open Rmt_knowledge
+open Rmt_attack
+open Rmt_net
+
+let check = Alcotest.(check bool)
+let instances_dir = "../../instances"
+
+let repo_instances () =
+  Sys.readdir instances_dir |> Array.to_list |> List.sort compare
+  |> List.filter (fun f -> Filename.check_suffix f ".rmt")
+  |> List.map (fun f ->
+         match Codec.of_file (Filename.concat instances_dir f) with
+         | Ok inst -> (Filename.chop_suffix f ".rmt", inst)
+         | Error e -> Alcotest.failf "cannot load %s: %s" f e)
+
+let protocols = Campaign.[ Pka; Ppa; Zcpa ]
+
+(* Any backend plugs into the campaign executor through the runner
+   record — the adapter that makes "same protocol, same program, other
+   substrate" a one-liner. *)
+let runner_of (module T : Transport.S) =
+  {
+    Campaign.run =
+      (fun ?max_messages ?size_of ?stop_when ?on_deliver ~graph ~adversary a ->
+        T.run ?max_messages ?size_of ?stop_when ?on_deliver ~graph ~adversary a);
+  }
+
+let pinned_programs inst =
+  Program.make ~seed:0 []
+  :: List.map
+       (fun s -> Strategy_gen.random (Prng.create s) inst ~x_dealer:7 ~x_fake:8)
+       [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Conformance: every backend reproduces the engine byte for byte      *)
+(* ------------------------------------------------------------------ *)
+
+let conformance (module T : Transport.S) () =
+  List.iter
+    (fun (name, inst) ->
+      let programs = pinned_programs inst in
+      List.iter
+        (fun protocol ->
+          List.iteri
+            (fun i p ->
+              let label =
+                Printf.sprintf "%s/%s/%s/program %d" T.name name
+                  (Campaign.protocol_to_string protocol)
+                  i
+              in
+              let engine_r, engine_trace =
+                Campaign.execute_traced protocol inst ~x_dealer:7 p
+              in
+              let backend_r, backend_trace =
+                Campaign.execute_traced
+                  ~runner:(runner_of (module T))
+                  protocol inst ~x_dealer:7 p
+              in
+              check (label ^ ": identical report") true (engine_r = backend_r);
+              check (label ^ ": identical trace") true
+                (String.equal engine_trace backend_trace))
+            programs)
+        protocols)
+    (repo_instances ())
+
+let test_engine_backend = conformance (module Engine.Backend)
+let test_sim_sync_backend = conformance (module Rmt_sim.Sim.Sync_backend)
+let test_mcast_single_domain = conformance (Mcast.backend ~domains:1)
+
+(* ------------------------------------------------------------------ *)
+(* Mcast: outcomes independent of domain count and sharding seed       *)
+(* ------------------------------------------------------------------ *)
+
+let mcast_runner ~domains ~seed =
+  {
+    Campaign.run =
+      (fun ?max_messages ?size_of ?stop_when ?on_deliver ~graph ~adversary a ->
+        Mcast.run ~domains ~seed ?max_messages ?size_of ?stop_when ?on_deliver
+          ~graph ~adversary a);
+  }
+
+let test_mcast_domain_independence =
+  QCheck.Test.make ~count:40
+    ~name:"mcast outcome independent of domains and seed"
+    Rmt_test_gen.Gen.arb_instance_and_seed (fun (inst, seed) ->
+      let p =
+        Strategy_gen.random (Prng.create seed) inst ~x_dealer:7 ~x_fake:8
+      in
+      let protocol = List.nth protocols (abs seed mod List.length protocols) in
+      let base, base_trace =
+        Campaign.execute_traced protocol inst ~x_dealer:7 p
+      in
+      List.for_all
+        (fun (domains, salt) ->
+          let r, t =
+            Campaign.execute_traced
+              ~runner:(mcast_runner ~domains ~seed:salt)
+              protocol inst ~x_dealer:7 p
+          in
+          r = base && String.equal t base_trace)
+        [
+          (1, 0);
+          (2, 1);
+          (3, 5);
+          (4, 12);
+          (Mcast.recommended_domains (), abs seed);
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Mcast unit semantics                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* 0 --- 1 --- 2: node 0 originates 7 at round 0, each hop forwards
+   once; exercises accounting with a hand-countable message pattern. *)
+type relay = { id : int; mutable got : int option }
+
+let relay_automaton =
+  let open Transport in
+  {
+    init =
+      (fun v ->
+        ( { id = v; got = (if v = 0 then Some 7 else None) },
+          if v = 0 then [ { dst = 1; payload = 7 } ] else [] ));
+    step =
+      (fun _ st ~round:_ ~inbox ->
+        match (st.got, inbox) with
+        | None, (_, x) :: _ ->
+          st.got <- Some x;
+          (st, if st.id < 2 then [ { dst = st.id + 1; payload = x } ] else [])
+        | _ -> (st, []));
+    decision = (fun st -> st.got);
+  }
+
+let test_mcast_accounting () =
+  let g = Generators.path_graph 3 in
+  let outcome, acct =
+    Mcast.run_accounted ~domains:2 ~size_of:(fun _ -> 4) ~graph:g
+      ~adversary:Engine.no_adversary relay_automaton
+  in
+  check "all three decided 7" true
+    (List.sort compare outcome.Transport.decisions
+    = [ (0, 7); (1, 7); (2, 7) ]);
+  Alcotest.(check int) "two messages delivered" 2 outcome.stats.messages;
+  Alcotest.(check int) "domains clamped to honest" 2 acct.Mcast.domains_used;
+  Alcotest.(check int) "two messages sent" 2 acct.sent_messages;
+  Alcotest.(check int) "eight bytes sent" 8 acct.sent_bytes;
+  check "per-(sender, round) ledger" true
+    (acct.by_sender_round = [ ((0, 0), 4); ((1, 1), 4) ]);
+  Alcotest.(check int) "bytes_of hit" 4
+    (Mcast.bytes_of acct ~sender:1 ~round:1);
+  Alcotest.(check int) "bytes_of miss" 0
+    (Mcast.bytes_of acct ~sender:2 ~round:1)
+
+let test_mcast_clamping () =
+  let g = Generators.path_graph 3 in
+  let _, acct =
+    Mcast.run_accounted ~domains:64 ~graph:g ~adversary:Engine.no_adversary
+      relay_automaton
+  in
+  Alcotest.(check int) "64 domains clamp to 3 honest players" 3
+    acct.Mcast.domains_used;
+  check "domains < 1 rejected" true
+    (match
+       Mcast.run ~domains:0 ~graph:g ~adversary:Engine.no_adversary
+         relay_automaton
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* An honest send to a non-neighbor must raise on a worker domain just
+   as it does sequentially — and deterministically: the lowest-ranked
+   failing player wins. *)
+let test_mcast_worker_failure () =
+  let g = Generators.path_graph 3 in
+  let bad =
+    let open Transport in
+    {
+      init =
+        (fun v ->
+          (* one valid round-0 send keeps the network live into round 1 *)
+          (v, if v = 0 then [ { dst = 1; payload = 0 } ] else []));
+      step =
+        (fun v st ~round ~inbox:_ ->
+          if round = 1 then (st, [ { dst = (v + 2) mod 3; payload = 0 } ])
+          else (st, []));
+      decision = (fun _ -> None);
+    }
+  in
+  Alcotest.check_raises "non-neighbor send surfaces from the pool"
+    (Invalid_argument "Mcast.run: honest node 0 sent to non-neighbor 2")
+    (fun () ->
+      ignore
+        (Mcast.run ~domains:3
+           ~adversary:
+             {
+               Transport.corrupted = Rmt_base.Nodeset.of_list [];
+               act = (fun _ ~round:_ ~inbox:_ -> []);
+             }
+           ~graph:g bad))
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "engine backend" `Quick test_engine_backend;
+          Alcotest.test_case "sim-sync backend" `Quick test_sim_sync_backend;
+          Alcotest.test_case "mcast single-domain backend" `Quick
+            test_mcast_single_domain;
+        ] );
+      ( "mcast",
+        [
+          QCheck_alcotest.to_alcotest test_mcast_domain_independence;
+          Alcotest.test_case "accounting" `Quick test_mcast_accounting;
+          Alcotest.test_case "domain clamping" `Quick test_mcast_clamping;
+          Alcotest.test_case "worker failure" `Quick test_mcast_worker_failure;
+        ] );
+    ]

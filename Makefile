@@ -10,7 +10,7 @@ build:
 test:
 	dune runtest
 
-# Typedtree determinism & safety analysis over lib/ (rules R1-R7; run
+# Typedtree determinism & safety analysis over lib/ (rules R1-R8; run
 # `dune exec bin/rmt_lint.exe -- rules` for the catalog).  Fails on any
 # finding not pinned in lint-baseline.txt.  Unchanged .cmt files are
 # served from the digest-keyed cache; `make lint-clean` forces a cold run.
@@ -93,7 +93,7 @@ bench-check:
 	cp BENCH_lint.json /tmp/rmt_bench_lint_baseline.json
 	dune exec bench/main.exe -- lint --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_lint_baseline.json \
-	  BENCH_lint.json --threshold=2.0
+	  BENCH_lint.json --prefix-threshold=rmt/lint/:2.0
 	cp BENCH_sim.json /tmp/rmt_bench_sim_baseline.json
 	dune exec bench/main.exe -- sim --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_sim_baseline.json \

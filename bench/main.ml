@@ -1685,40 +1685,65 @@ let net () =
 let lint_json_sections : string list ref = ref []
 
 let lint () =
-  section "rmt-lint analyzer: cold vs warm (cmt-digest cache)";
+  section "rmt-lint analyzer: cold vs warm (cmt-digest + summary cache)";
   let module L = Rmt_lint in
   let build_dir = "_build/default" and dirs = [ "lib" ] in
   let run cache =
     Timing.time_it (fun () ->
         match L.Lint.scan_cached ~cache ~build_dir ~dirs with
         | Error e -> failwith ("lint bench: " ^ e)
-        | Ok (units, stats) ->
-          let graph = L.Lint.graph_of units in
-          (List.length (L.Lint.findings_of units graph), stats))
+        | Ok (units, stats, key) ->
+          let store, summary_hit =
+            L.Lint.store_of ~cache ~key (L.Lint.graph_of units)
+          in
+          ( List.length (L.Lint.findings_of units store),
+            stats,
+            summary_hit ))
   in
   let cache = L.Cache.empty () in
-  let (cold_findings, _), cold_s = run cache in
-  let (warm_findings, warm_stats), warm_s = run cache in
+  let (cold_findings, _, cold_hit), cold_s = run cache in
+  let (warm_findings, warm_stats, warm_hit), warm_s = run cache in
   if cold_findings <> warm_findings then
     failwith "lint bench: warm run changed the findings";
+  if cold_hit || not warm_hit then
+    failwith "lint bench: summary cache hit pattern should be cold=miss warm=hit";
   let rate = L.Lint.hit_rate warm_stats in
+  (* Summary-store inference alone: a cold fixpoint run vs the cache's
+     warm of_effects rebuild, on the same whole-program graph. *)
+  let graph, effs =
+    match L.Lint.scan_cached ~cache ~build_dir ~dirs with
+    | Error e -> failwith ("lint bench: " ^ e)
+    | Ok (units, _, _) ->
+      let graph = L.Lint.graph_of units in
+      (graph, L.Summary.all (L.Summary.infer graph))
+  in
+  let _, infer_s = Timing.time_it (fun () -> L.Summary.infer graph) in
+  let _, warm_store_s =
+    Timing.time_it (fun () -> L.Summary.of_effects graph effs)
+  in
   Printf.printf
     "  cold: %.3fs   warm: %.3fs   (%d findings; warm reused %d/%d cmts, \
-     %.1f%%)\n"
+     %.1f%%)\n\
+    \  summaries: infer %.3fs   of_effects %.3fs   (summary cache: cold \
+     miss, warm hit)\n"
     cold_s warm_s cold_findings warm_stats.L.Lint.hits
-    warm_stats.L.Lint.lookups rate;
+    warm_stats.L.Lint.lookups rate infer_s warm_store_s;
   lint_json_sections :=
     [
       Printf.sprintf
         "\"micro\": [\n\
         \    {\"name\": \"rmt/lint/cold\", \"ns_per_run\": %.1f},\n\
-        \    {\"name\": \"rmt/lint/warm\", \"ns_per_run\": %.1f}\n\
+        \    {\"name\": \"rmt/lint/warm\", \"ns_per_run\": %.1f},\n\
+        \    {\"name\": \"rmt/lint/summaries-cold\", \"ns_per_run\": %.1f},\n\
+        \    {\"name\": \"rmt/lint/summaries-warm\", \"ns_per_run\": %.1f}\n\
         \  ]"
-        (cold_s *. 1e9) (warm_s *. 1e9);
+        (cold_s *. 1e9) (warm_s *. 1e9) (infer_s *. 1e9)
+        (warm_store_s *. 1e9);
       Printf.sprintf
         "\"cache\": {\"lookups\": %d, \"hits\": %d, \"hit_rate_percent\": \
-         %.1f}"
-        warm_stats.L.Lint.lookups warm_stats.L.Lint.hits rate;
+         %.1f, \"summary_hit_rate_percent\": %.1f}"
+        warm_stats.L.Lint.lookups warm_stats.L.Lint.hits rate
+        (if warm_hit then 100.0 else 0.0);
       Printf.sprintf "\"findings\": %d" cold_findings;
     ]
 

@@ -1,26 +1,32 @@
 (* rmt-lint — typedtree-based determinism & safety analyzer.
 
    Subcommands:
-     check     (default) lint the repository's .cmt files
-     paths     Theorem-4 taint audit: sources, sinks, guard status
-     graph     dump the cross-module call graph (--dot for GraphViz)
-     explain   print the rationale for one rule
-     rules     list all rules
+     check      (default) lint the repository's .cmt files
+     paths      Theorem-4 taint audit: sources, sinks, guard status
+     graph      dump the cross-module call graph (--dot for GraphViz)
+     summaries  dump per-function effect summaries (--json for CI)
+     explain    print the rationale for one rule
+     rules      list all rules
 
    The analyzer reads the typedtrees that `dune build @check` leaves
-   under _build/default and runs the five intraprocedural rules of
-   lib/lint/rules.mli plus the interprocedural passes R6 (Domain races)
-   and R7 (Theorem-4 taint) over the cross-module call graph.  With
-   --cache FILE, unchanged .cmt files (by content digest) are never
-   re-read across runs.  Exit status: 0 when every finding is pinned in
-   the baseline, 1 on new findings, 2 on usage or I/O errors.
+   under _build/default, infers per-function effect summaries over the
+   whole-program call graph (SCC-ordered, fixpointed on recursive
+   cycles), and runs the intraprocedural rules of lib/lint/rules.mli
+   plus the summary-store passes R4/R8 (lock discipline), R6 (Domain
+   races) and R7 (higher-order-aware Theorem-4 taint).  With --cache
+   FILE, unchanged .cmt files (by content digest) are never re-read
+   across runs and the whole summary store is reused when nothing
+   changed.  Exit status: 0 when every finding is pinned in the
+   baseline and no pin is stale, 1 on new findings or stale pins, 2 on
+   usage or I/O errors.
 
    Examples:
      dune build @check && rmt_lint check --baseline lint-baseline.txt
      rmt_lint check --cache _build/rmt-lint.cache --sarif rmt-lint.sarif
      rmt_lint paths
+     rmt_lint summaries --json Zcpa
      rmt_lint graph --dot | dot -Tsvg > callgraph.svg
-     rmt_lint explain R7 *)
+     rmt_lint explain R8 *)
 
 open Rmt_lint
 open Cmdliner
@@ -31,8 +37,10 @@ let build_dir =
 
 let dirs =
   let doc =
-    "Source directories to lint (prefix match on the path recorded in \
-     each .cmt)."
+    "Source directories to analyze (prefix match on the path recorded \
+     in each .cmt).  $(docv) bounds the analysis universe: the call \
+     graph, the summary store and the findings all cover exactly these \
+     trees."
   in
   Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"DIR" ~doc)
 
@@ -53,11 +61,19 @@ let sarif =
   let doc = "Also write a SARIF 2.1.0 report to $(docv)." in
   Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
 
+let summaries_out =
+  let doc = "Also write the effect-summary dump (JSON) to $(docv)." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summaries-out" ] ~docv:"FILE" ~doc)
+
 let cache_path =
   let doc =
     "Incremental cache file: unchanged .cmt files (by content digest) \
-     are not re-analyzed, and the cache is rewritten after the run.  \
-     Delete the file (make lint-clean) to force a cold run."
+     are not re-analyzed, the summary store is reused when no cmt \
+     changed, and the cache is rewritten after the run.  Delete the \
+     file (make lint-clean) to force a cold run."
   in
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
 
@@ -68,7 +84,8 @@ let update_baseline =
   in
   Arg.(value & flag & info [ "update-baseline" ] ~doc)
 
-(* Shared front half: load cache, scan, store cache back. *)
+(* Shared front half: load cache, scan, infer/restore the summary
+   store, store cache back. *)
 let scan_with_cache build_dir dirs cache_path =
   let cache =
     match cache_path with
@@ -77,18 +94,25 @@ let scan_with_cache build_dir dirs cache_path =
   in
   match Lint.scan_cached ~cache ~build_dir ~dirs with
   | Error e -> Error e
-  | Ok (units, stats) ->
+  | Ok (units, stats, key) ->
+    let store, _summary_hit = Lint.store_of ~cache ~key (Lint.graph_of units) in
     (match cache_path with Some p -> Cache.save p cache | None -> ());
-    Ok (units, stats)
+    Ok (units, stats, store)
 
-let check_cmd build_dir dirs baseline json out sarif cache_path update =
+let check_cmd build_dir dirs baseline json out sarif summaries_out cache_path
+    update =
   match scan_with_cache build_dir dirs cache_path with
   | Error e ->
     prerr_endline ("rmt-lint: " ^ e);
     2
-  | Ok (units, stats) ->
-    let graph = Lint.graph_of units in
-    let findings = Lint.findings_of units graph in
+  | Ok (units, stats, store) ->
+    let findings = Lint.findings_of units store in
+    (match summaries_out with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Summary.render_json store);
+       close_out oc);
     (match (update, baseline) with
      | true, None ->
        prerr_endline "rmt-lint: --update-baseline requires --baseline";
@@ -123,19 +147,21 @@ let check_cmd build_dir dirs baseline json out sarif cache_path update =
            | None -> ()
            | Some path ->
              let oc = open_out path in
-             output_string oc (Sarif.render ~entries report);
+             output_string oc (Sarif.render ~store ~entries report);
              close_out oc);
           if json then print_string (Lint.render_json report)
           else print_string (Lint.render_text report);
-          if report.Lint.fresh = [] then 0 else 1))
+          (* Stale pins fail the run: a discharged finding still pinned
+             in the baseline means the baseline misdescribes the tree. *)
+          if report.Lint.fresh = [] && report.Lint.stale = [] then 0 else 1))
 
 let paths_cmd build_dir dirs cache_path =
   match scan_with_cache build_dir dirs cache_path with
   | Error e ->
     prerr_endline ("rmt-lint: " ^ e);
     2
-  | Ok (units, _) ->
-    print_string (Taint.audit (Lint.graph_of units));
+  | Ok (_, _, store) ->
+    print_string (Taint.audit store);
     0
 
 let graph_cmd build_dir dirs cache_path dot =
@@ -143,7 +169,7 @@ let graph_cmd build_dir dirs cache_path dot =
   | Error e ->
     prerr_endline ("rmt-lint: " ^ e);
     2
-  | Ok (units, _) ->
+  | Ok (units, _, _) ->
     let graph = Lint.graph_of units in
     if dot then print_string (Callgraph.to_dot graph)
     else begin
@@ -160,6 +186,16 @@ let graph_cmd build_dir dirs cache_path dot =
     end;
     0
 
+let summaries_cmd build_dir dirs cache_path json only =
+  match scan_with_cache build_dir dirs cache_path with
+  | Error e ->
+    prerr_endline ("rmt-lint: " ^ e);
+    2
+  | Ok (_, _, store) ->
+    if json then print_string (Summary.render_json ?only store)
+    else print_string (Summary.render_text ?only store);
+    0
+
 let explain_cmd rule =
   match Rules.find rule with
   | None ->
@@ -174,7 +210,7 @@ let explain_cmd rule =
 let check_term =
   Term.(
     const check_cmd $ build_dir $ dirs $ baseline $ json $ out $ sarif
-    $ cache_path $ update_baseline)
+    $ summaries_out $ cache_path $ update_baseline)
 
 let check =
   let doc = "lint the repository's typedtrees (the default command)" in
@@ -200,13 +236,35 @@ let graph =
     (Cmd.info "graph" ~doc)
     Term.(const graph_cmd $ build_dir $ dirs $ cache_path $ dot)
 
+let summaries =
+  let only =
+    let doc =
+      "Restrict the dump to one module (function-name prefix or source \
+       file module)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"MODULE" ~doc)
+  in
+  let sdirs =
+    let doc = "Source directory to analyze (repeatable)." in
+    Arg.(value & opt_all string [ "lib" ] & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "dump per-function effect summaries: mutates/nondet/source/sink \
+     bits, sanitizer families reached, lock and spawn effects, \
+     locked-only status and higher-order instantiation sets, with a \
+     stable fingerprint per function"
+  in
+  Cmd.v
+    (Cmd.info "summaries" ~doc)
+    Term.(const summaries_cmd $ build_dir $ sdirs $ cache_path $ json $ only)
+
 let explain =
   let doc = "describe one rule and the invariant it protects" in
   let rule =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"RULE" ~doc:"Rule identifier, R1..R7.")
+      & info [] ~docv:"RULE" ~doc:"Rule identifier, R1..R8.")
   in
   Cmd.v (Cmd.info "explain" ~doc) Term.(const explain_cmd $ rule)
 
@@ -229,4 +287,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default:check_term info
-          [ check; paths; graph; explain; rules ]))
+          [ check; paths; graph; summaries; explain; rules ]))

@@ -3,11 +3,14 @@ open Rmt_adversary
 
 (* Weak hash-cons tables + bounded strong memo caches, one global mutex.
 
-   rmt-lint carve-out: this file is the one sanctioned home for
-   top-level mutable state outside Atomic (lib/lint/rules.ml R4,
-   lib/lint/race.ml R6).  Every access path goes through [locked], so
-   the state is domain-safe by construction; test/core/test_hc.ml
-   exercises exactly that under a real fan-out. *)
+   There is no rmt-lint carve-out for this file: the R4/R8 lock pass
+   (lib/lint/lock.ml) proves the discipline instead.  Every top-level
+   table is only reached from [locked] critical sections, no critical
+   section re-acquires or runs enumerative compute (the memo wrappers
+   probe under the lock, compute outside, re-lock to store), and a
+   regression — say a new entry point that forgets [locked] — is a
+   finding, not a silently widened exemption.  test/core/test_hc.ml
+   exercises the same discipline under a real fan-out. *)
 
 type 'a cell = { value : 'a; mutable id : int }
 

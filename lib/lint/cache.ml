@@ -27,12 +27,21 @@ type entry =
 
 (* Bump the leading counter whenever Finding.t, the summary types or the
    rule semantics change — a stale hit would silently resurrect old
-   findings. *)
-let version = "rmt-lint-cache/1:" ^ Sys.ocaml_version
+   findings.  Both the compiler version and the cmt format magic
+   participate: marshaled typedtree-derived data is not portable across
+   either, and the magic changes even on patch releases that keep
+   [Sys.ocaml_version]-compatible sources. *)
+let version =
+  "rmt-lint-cache/2:" ^ Sys.ocaml_version ^ ":" ^ Config.cmt_magic_number
 
-type t = { entries : (string, string * entry) Hashtbl.t }
+type t = {
+  entries : (string, string * entry) Hashtbl.t;
+  mutable summaries : (string * Summary.effects list) option;
+      (** whole-store effect summaries, keyed by the combined digest of
+          every cmt that fed the graph *)
+}
 
-let empty () = { entries = Hashtbl.create 64 }
+let empty () = { entries = Hashtbl.create 64; summaries = None }
 
 let default_path = "_build/rmt-lint.cache"
 
@@ -47,13 +56,17 @@ let load path =
             let bindings : (string * (string * entry)) list =
               Marshal.from_channel ic
             in
-            Some bindings)
+            let summaries : (string * Summary.effects list) option =
+              Marshal.from_channel ic
+            in
+            Some (bindings, summaries))
     with
     | exception _ -> empty ()
     | None -> empty ()
-    | Some bindings ->
+    | Some (bindings, summaries) ->
       let t = empty () in
       List.iter (fun (k, ve) -> Hashtbl.replace t.entries k ve) bindings;
+      t.summaries <- summaries;
       t
 
 let lookup t ~cmt_path ~digest =
@@ -63,6 +76,13 @@ let lookup t ~cmt_path ~digest =
 
 let store t ~cmt_path ~digest entry =
   Hashtbl.replace t.entries cmt_path (digest, entry)
+
+let lookup_summaries t ~key =
+  match t.summaries with
+  | Some (k, effs) when String.equal k key -> Some effs
+  | _ -> None
+
+let store_summaries t ~key effs = t.summaries <- Some (key, effs)
 
 let size t = Hashtbl.length t.entries
 
@@ -76,6 +96,7 @@ let save path t =
     let tmp = path ^ ".tmp" in
     Out_channel.with_open_bin tmp (fun oc ->
         Marshal.to_channel oc version [];
-        Marshal.to_channel oc bindings []);
+        Marshal.to_channel oc bindings [];
+        Marshal.to_channel oc t.summaries []);
     Sys.rename tmp path
   end

@@ -19,6 +19,24 @@ type fanout = {
   arg_fn : string option;
 }
 
+(* How a call-site argument was classified as function-valued.  A
+   [Ho_alias] carries the canonicalized type-constructor name; whether
+   that name is an arrow alias (type decider = ... -> ...) is only known
+   once every unit's declarations are on the table, so the decision is
+   deferred to {!build} — keeping per-unit summaries cacheable. *)
+type ho_kind =
+  | Ho_arrow
+  | Ho_alias of string
+
+type ho_arg = {
+  ho_callee : string;
+  ho_label : string;
+  ho_line : int;
+  ho_kind : ho_kind;
+  ho_refs : string list;
+  ho_params : string list;
+}
+
 type sink_kind =
   | Decided_assign
   | Verdict_construct of string
@@ -33,18 +51,22 @@ type fn_summary = {
   fn_name : string;
   fn_file : string;
   fn_line : int;
+  params : string list;
   refs : ref_site list;
   inbox_param : bool;
   adversary_types : string list;
   sinks : sink_site list;
   mutable_global : string option;
   fanouts : fanout list;
+  ho_args : ho_arg list;
 }
 
 type unit_summary = {
   u_source : string;
   u_module : string;
   u_functions : fn_summary list;
+  u_arrow_aliases : string list;
+      (* type aliases this unit declares whose manifest is an arrow *)
 }
 
 let sink_describe = function
@@ -161,6 +183,101 @@ let analyze_closure ~locals ~unit_locals (e : expression) =
     iter.expr iter e;
     (List.rev !captured, refs_of_expr ~locals e, None)
 
+(* Parameter names of a binding, walking the leading fun chain.  An
+   optional parameter's real name lives in its label (the pattern binds
+   the compiler's [*opt*] cell); default-value lets between parameters
+   are stepped over so [?(a = e) b] yields both names. *)
+let params_of_binding e =
+  let acc = ref [] in
+  let add n =
+    if (not (String.contains n '*')) && not (List.mem n !acc) then
+      acc := n :: !acc
+  in
+  let add_pat p = List.iter (fun id -> add (Ident.name id)) (pat_bound_idents p) in
+  let rec go e =
+    match e.exp_desc with
+    | Texp_function { arg_label; cases; _ } ->
+      (match arg_label with
+       | Asttypes.Labelled n | Asttypes.Optional n -> add n
+       | Asttypes.Nolabel -> ());
+      (match cases with
+       | [ c ] ->
+         add_pat c.c_lhs;
+         go c.c_rhs
+       | cs -> List.iter (fun c -> add_pat c.c_lhs) cs)
+    | Texp_let (_, _, body) -> go body
+    | _ -> ()
+  in
+  go e;
+  List.rev !acc
+
+(* Strip the [Some _] wrapper the typechecker inserts when a value is
+   passed directly to an optional parameter. *)
+let peel_optional e =
+  match e.exp_desc with
+  | Texp_construct (_, cd, [ inner ])
+    when String.equal cd.Types.cstr_name "Some" ->
+    inner
+  | _ -> e
+
+(* A call-site argument participates in higher-order resolution when it
+   can carry behavior into the callee: a literal closure or packed
+   module always does; an identifier or (partial) application only when
+   its type is an arrow — or a named alias ([Ho_alias]) that {!build}
+   may later recognize as one.  Data-typed arguments must be skipped or
+   every [Nodeset.equal (f x) y] call would pollute the instantiation
+   sets with [f]. *)
+let rec arrow_kind ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> Some Ho_arrow
+  | Types.Tpoly (t, _) -> arrow_kind t
+  | Types.Tconstr (p, _, _) ->
+    Some (Ho_alias (Names.canonical_ref (Names.path_name p)))
+  | _ -> None
+
+let functionish e =
+  match e.exp_desc with
+  | Texp_function _ | Texp_pack _ -> Some Ho_arrow
+  | Texp_apply _ | Texp_ident _ -> arrow_kind e.exp_type
+  | _ -> None
+
+(* Names of the enclosing binding's parameters that [e] mentions as free
+   local identifiers — the hook for parameter-flow propagation
+   (instantiations of the caller flow into the callee). *)
+let param_mentions ~locals ~params e =
+  if params = [] then []
+  else begin
+    let bound = bound_idents_of_expr e in
+    let is_bound id = List.exists (fun b -> Ident.same b id) bound in
+    let acc = ref [] in
+    let default = Tast_iterator.default_iterator in
+    let expr sub e =
+      (match e.exp_desc with
+       | Texp_ident (Path.Pident id, _, _)
+         when (not (is_bound id))
+              && (not (Hashtbl.mem locals (Ident.name id)))
+              && List.mem (Ident.name id) params
+              && not (List.mem (Ident.name id) !acc) ->
+         acc := Ident.name id :: !acc
+       | _ -> ());
+      default.expr sub e
+    in
+    let iter = { default with expr } in
+    iter.expr iter e;
+    List.sort String.compare !acc
+  end
+
+let record_with_mutable_field e =
+  match e.exp_desc with
+  | Texp_record { fields; _ } ->
+    Array.exists
+      (fun (ld, _) ->
+        match ld.Types.lbl_mut with
+        | Asttypes.Mutable -> true
+        | Asttypes.Immutable -> false)
+      fields
+  | _ -> false
+
 let rec module_structure me =
   match me.mod_desc with
   | Tmod_structure inner -> Some inner
@@ -214,11 +331,13 @@ let summarize ~source str =
       | [] -> prefix ^ ".(pattern)"
     in
     let fn_line = line_of vb.vb_loc in
+    let params = params_of_binding vb.vb_expr in
     let refs = ref [] in
     let inbox = ref false in
     let adv_types = ref [] in
     let sinks = ref [] in
     let fanouts = ref [] in
+    let ho_args = ref [] in
     let default = Tast_iterator.default_iterator in
     let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
      fun sub p ->
@@ -273,6 +392,47 @@ let summarize ~source str =
          (match fn.exp_desc with
           | Texp_ident (p, _, _) ->
             let canonical = Names.canonical_ref (Names.path_name p) in
+            (* higher-order argument sites: what behavior flows into the
+               callee, and through which of our own parameters *)
+            let callee =
+              match p with
+              | Path.Pident _ ->
+                (match Hashtbl.find_opt locals (Names.path_name p) with
+                 | Some qualified -> qualified
+                 | None -> Names.path_name p)
+              | _ -> canonical
+            in
+            List.iter
+              (fun (label, a) ->
+                match a with
+                | None -> ()
+                | Some a ->
+                  let a = peel_optional a in
+                  (match functionish a with
+                   | None -> ()
+                   | Some ho_kind ->
+                     let ho_refs =
+                       refs_of_expr ~locals a
+                       |> List.map (fun r -> r.ref_name)
+                       |> List.sort_uniq String.compare
+                     in
+                     let ho_params = param_mentions ~locals ~params a in
+                     if ho_refs <> [] || ho_params <> [] then
+                       ho_args :=
+                         {
+                           ho_callee = callee;
+                           ho_label =
+                             (match label with
+                              | Asttypes.Labelled n | Asttypes.Optional n ->
+                                n
+                              | Asttypes.Nolabel -> "");
+                           ho_line = line_of fn.exp_loc;
+                           ho_kind;
+                           ho_refs;
+                           ho_params;
+                         }
+                         :: !ho_args))
+              args;
             if List.exists (String.equal canonical) fanout_names then begin
               let closure =
                 List.find_map
@@ -315,13 +475,34 @@ let summarize ~source str =
       fn_name;
       fn_file = source;
       fn_line;
+      params;
       refs = List.rev !refs;
       inbox_param = !inbox;
       adversary_types = List.sort String.compare !adv_types;
       sinks = List.rev !sinks;
-      mutable_global = Names.mutable_container vb.vb_expr.exp_type;
+      mutable_global =
+        (match Names.mutable_container vb.vb_expr.exp_type with
+         | Some kind -> Some kind
+         | None ->
+           if record_with_mutable_field vb.vb_expr then
+             Some "record with mutable fields"
+           else None);
       fanouts = List.rev !fanouts;
+      ho_args = List.rev !ho_args;
     }
+  in
+  let arrow_aliases = ref [] in
+  let record_arrow_alias ~prefix (d : type_declaration) =
+    match d.typ_manifest with
+    | Some { ctyp_desc = Ttyp_arrow _; _ } ->
+      let name = Ident.name d.typ_id in
+      let qualified = prefix ^ "." ^ name in
+      arrow_aliases := Names.canonical_ref qualified :: !arrow_aliases;
+      (* within the declaring module the constructor path is bare; keep
+         the short form too, except the ubiquitous [t] *)
+      if not (String.equal name "t") then
+        arrow_aliases := name :: !arrow_aliases
+    | _ -> ()
   in
   let rec go prefix str =
     List.iter
@@ -331,6 +512,8 @@ let summarize ~source str =
           List.iter
             (fun vb -> functions := summarize_binding ~prefix vb :: !functions)
             vbs
+        | Tstr_type (_, decls) ->
+          List.iter (record_arrow_alias ~prefix) decls
         | Tstr_module mb ->
           (match (mb.mb_id, module_structure mb.mb_expr) with
            | Some id, Some inner ->
@@ -344,6 +527,7 @@ let summarize ~source str =
     u_source = source;
     u_module = module_name;
     u_functions = List.rev !functions;
+    u_arrow_aliases = List.sort_uniq String.compare !arrow_aliases;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -359,15 +543,36 @@ type t = {
 let build units =
   let by_name = Hashtbl.create 256 in
   let by_canonical = Hashtbl.create 256 in
+  (* Now that every unit's type declarations are known, settle which
+     [Ho_alias] arguments name an arrow alias; the rest are data and
+     must not feed the instantiation sets. *)
+  let arrow_aliases = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun a -> Hashtbl.replace arrow_aliases a ())
+        u.u_arrow_aliases)
+    units;
+  let keep_ho (h : ho_arg) =
+    match h.ho_kind with
+    | Ho_arrow -> true
+    | Ho_alias n -> Hashtbl.mem arrow_aliases n
+  in
   List.iter
     (fun u ->
       List.iter
         (fun f ->
+          let f = { f with ho_args = List.filter keep_ho f.ho_args } in
           if not (Hashtbl.mem by_name f.fn_name) then begin
             Hashtbl.replace by_name f.fn_name f;
+            (* Two units may both define a [Structure.restrict]-style
+               nested name whose canonical forms collide; keep the
+               lexicographically smallest qualified name so resolution
+               does not depend on the order units were supplied in. *)
             let canonical = Names.canonical_ref f.fn_name in
-            if not (Hashtbl.mem by_canonical canonical) then
-              Hashtbl.replace by_canonical canonical f.fn_name
+            match Hashtbl.find_opt by_canonical canonical with
+            | Some prev when String.compare prev f.fn_name <= 0 -> ()
+            | _ -> Hashtbl.replace by_canonical canonical f.fn_name
           end)
         u.u_functions)
     units;

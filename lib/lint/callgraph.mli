@@ -34,6 +34,32 @@ type fanout = {
           a literal closure *)
 }
 
+type ho_kind =
+  | Ho_arrow  (** literal closure / arrow-typed expression *)
+  | Ho_alias of string
+      (** named type constructor; {!build} keeps the argument only when
+          some unit declares that name as an arrow alias *)
+
+type ho_arg = {
+  ho_callee : string;
+      (** the call-site's callee reference (unit-local names qualified,
+          cross-unit names canonicalized) *)
+  ho_label : string;  (** argument label, [""] when positional *)
+  ho_line : int;
+  ho_kind : ho_kind;
+  ho_refs : string list;
+      (** canonicalized global references inside the argument expression
+          — candidate behaviors flowing into the callee *)
+  ho_params : string list;
+      (** enclosing-binding parameter names the argument mentions as
+          free locals: the caller's own instantiations flow through *)
+}
+(** One higher-order argument at a call site: a closure, (partial)
+    application, identifier or packed module passed as an argument.
+    {!Summary} resolves these into per-function instantiation sets, so
+    a [decide]-style parameter is credited with the guards of whatever
+    its callers actually pass. *)
+
 type sink_kind =
   | Decided_assign  (** [_.decided <- ...] *)
   | Verdict_construct of string  (** Campaign verdict constructor *)
@@ -48,21 +74,28 @@ type fn_summary = {
   fn_name : string;  (** qualified, e.g. ["Rmt_pka.try_value"] *)
   fn_file : string;
   fn_line : int;
+  params : string list;
+      (** parameter names of the leading fun chain, labels included *)
   refs : ref_site list;  (** every global value reference, in order *)
   inbox_param : bool;  (** binds an ident named [inbox] *)
   adversary_types : string list;
       (** source type constructors appearing in bound patterns *)
   sinks : sink_site list;
   mutable_global : string option;
-      (** [Some kind] when the binding itself is a mutable container —
-          module-level shared state *)
+      (** [Some kind] when the binding itself is a mutable container or
+          a record literal with mutable fields — module-level shared
+          state *)
   fanouts : fanout list;
+  ho_args : ho_arg list;  (** higher-order argument call sites *)
 }
 
 type unit_summary = {
   u_source : string;
   u_module : string;
   u_functions : fn_summary list;
+  u_arrow_aliases : string list;
+      (** type aliases declared in this unit whose manifest is an arrow
+          (e.g. [Zcpa.decider]) — both canonical and short forms *)
 }
 
 val sink_describe : sink_kind -> string

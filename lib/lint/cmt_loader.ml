@@ -5,11 +5,33 @@ type unit_info = {
   structure : Typedtree.structure;
 }
 
+(* The leading bytes of a cmt are its format magic; probing them turns
+   an opaque Cmi_format/Cmt_format exception from a stale-compiler build
+   tree into an actionable message naming both magics. *)
+let probe_magic path =
+  let n = String.length Config.cmt_magic_number in
+  match
+    In_channel.with_open_bin path (fun ic -> really_input_string ic n)
+  with
+  | magic -> Some magic
+  | exception _ -> None
+
 let read_cmt cmt_path =
   match Cmt_format.read_cmt cmt_path with
   | exception exn ->
-    Error
-      (Printf.sprintf "cannot read %s: %s" cmt_path (Printexc.to_string exn))
+    let expected = Config.cmt_magic_number in
+    (match probe_magic cmt_path with
+     | Some found when not (String.equal found expected) ->
+       Error
+         (Printf.sprintf
+            "cannot read %s: cmt format magic mismatch (expected %S for \
+             OCaml %s, found %S) — the build tree was produced by a \
+             different compiler; rerun `dune build @check`"
+            cmt_path expected Sys.ocaml_version found)
+     | _ ->
+       Error
+         (Printf.sprintf "cannot read %s: %s" cmt_path
+            (Printexc.to_string exn)))
   | infos ->
     (match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
      | Cmt_format.Implementation str, Some source

@@ -17,8 +17,11 @@ type unit_info = {
 
 val read_cmt : string -> (unit_info option, string) result
 (** Read one [.cmt].  [Ok None] for interface / packed / generated units;
-    [Error _] when the file cannot be parsed (version mismatch, not a
-    cmt). *)
+    [Error _] when the file cannot be parsed.  A stale-compiler build
+    tree is diagnosed by probing the file's format magic, so the error
+    names the expected and found magics and says to rerun
+    [dune build \@check] instead of surfacing a raw [Cmi_format]
+    exception. *)
 
 val cmt_paths : build_dir:string -> (string list, string) result
 (** Every [.cmt] under [build_dir], sorted — the file list the

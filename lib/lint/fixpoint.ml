@@ -1,0 +1,109 @@
+(* Deterministic SCC condensation + monotone fixpoint over string-named
+   graph nodes.
+
+   Tarjan emits strongly connected components in reverse topological
+   order of the condensation — every component a node can reach is
+   completed before the node's own component — which is exactly the
+   bottom-up order {!Summary} needs: callees are summarized before their
+   callers, and only genuinely recursive cycles iterate.
+
+   Order independence is by construction, not by luck: the node list is
+   sorted and deduplicated on entry, successor lists are sorted,
+   deduplicated and restricted to known nodes, and members inside each
+   component are iterated in sorted order.  The qcheck property test
+   (test/lint/test_summary_order.ml) shuffles inputs and pins this. *)
+
+let normalize ~nodes ~succs =
+  let nodes = List.sort_uniq String.compare nodes in
+  let known = Hashtbl.create (List.length nodes * 2) in
+  List.iter (fun n -> Hashtbl.replace known n ()) nodes;
+  let out = Hashtbl.create (List.length nodes * 2) in
+  List.iter
+    (fun n ->
+      let ss =
+        succs n
+        |> List.filter (fun s -> Hashtbl.mem known s)
+        |> List.sort_uniq String.compare
+      in
+      Hashtbl.replace out n ss)
+    nodes;
+  (nodes, fun n -> try Hashtbl.find out n with Not_found -> [])
+
+let scc ~nodes ~succs =
+  let nodes, succs = normalize ~nodes ~succs in
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let components = ref [] in
+  let rec visit v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          visit w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := List.sort String.compare (pop []) :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then visit v) nodes;
+  List.rev !components
+
+let solve ~nodes ~succs ~equal ~init ~transfer =
+  let nodes', succs' = normalize ~nodes ~succs in
+  let state = Hashtbl.create 128 in
+  List.iter (fun n -> Hashtbl.replace state n (init n)) nodes';
+  let get n =
+    match Hashtbl.find_opt state n with
+    | Some v -> v
+    | None -> init n
+  in
+  List.iter
+    (fun component ->
+      (* Singleton components without a self-loop need exactly one
+         transfer; cycles iterate to their (monotone) fixpoint. *)
+      let cyclic =
+        match component with
+        | [ only ] -> List.exists (String.equal only) (succs' only)
+        | _ -> true
+      in
+      let step () =
+        List.fold_left
+          (fun changed n ->
+            let v' = transfer ~get n in
+            if equal v' (get n) then changed
+            else begin
+              Hashtbl.replace state n v';
+              true
+            end)
+          false component
+      in
+      if not cyclic then ignore (step ())
+      else begin
+        let continue = ref true in
+        while !continue do
+          continue := step ()
+        done
+      end)
+    (scc ~nodes ~succs);
+  get

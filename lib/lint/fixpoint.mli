@@ -1,0 +1,30 @@
+(** Deterministic SCC condensation and monotone fixpoint solving over
+    string-named graph nodes — the engine under {!Summary}.
+
+    Both entry points normalize their inputs (nodes sorted and
+    deduplicated, successor lists sorted, deduplicated and restricted to
+    known nodes), so the results are independent of the order in which
+    nodes and edges are supplied.  The property is pinned by the qcheck
+    shuffle test in [test/lint/test_summary_order.ml]. *)
+
+val scc :
+  nodes:string list -> succs:(string -> string list) -> string list list
+(** Strongly connected components, members sorted, components in reverse
+    topological order of the condensation: every component reachable
+    from [c] appears before [c].  For a call graph this means callees
+    before callers — the bottom-up summary order. *)
+
+val solve :
+  nodes:string list ->
+  succs:(string -> string list) ->
+  equal:('a -> 'a -> bool) ->
+  init:(string -> 'a) ->
+  transfer:(get:(string -> 'a) -> string -> 'a) -> (string -> 'a)
+(** [solve ~nodes ~succs ~equal ~init ~transfer] computes, bottom-up
+    over the SCC condensation, the least fixpoint of [transfer] above
+    [init].  Within a cyclic component members are iterated (in sorted
+    order) until [equal] reports no change; acyclic singletons get
+    exactly one transfer.  [transfer ~get n] must be monotone in the
+    values [get] returns, or termination is the caller's problem.  The
+    returned function reads the solved state ([init n] for unknown
+    nodes). *)

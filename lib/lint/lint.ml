@@ -33,9 +33,15 @@ let unit_of_info (u : Cmt_loader.unit_info) =
     su_cached = false;
   }
 
-(* Digest-first traversal: unchanged cmts are never parsed.  Entries are
-   stored for every cmt regardless of [dirs] (the cache is
-   dirs-independent); the [dirs] filter applies at collection time. *)
+(* Digest-first traversal: unchanged cmts are never parsed.  [dirs]
+   bounds the analysis universe — the graph the summary store is built
+   over is exactly the units whose recorded source lives under one of
+   [dirs].  (Scoping the graph, not just the reporting, is load-bearing
+   for R7: a test that exercises a deliberately-unguarded protocol next
+   to a solvability assertion must not launder its sanitizer into the
+   protocol's instantiation sets.)  The third component is the combined
+   digest key of the in-scope units, under which the summary store
+   itself is cached. *)
 let scan_cached ~cache ~build_dir ~dirs =
   match Cmt_loader.cmt_paths ~build_dir with
   | Error e -> Error e
@@ -44,8 +50,15 @@ let scan_cached ~cache ~build_dir ~dirs =
     let errors = ref [] in
     let lookups = ref 0 in
     let hits = ref 0 in
-    let keep su =
-      if Cmt_loader.under_one_of dirs su.su_source then units := su :: !units
+    let digests = Buffer.create 4096 in
+    let keep ~path ~digest su =
+      if Cmt_loader.under_one_of dirs su.su_source then begin
+        Buffer.add_string digests path;
+        Buffer.add_char digests ':';
+        Buffer.add_string digests digest;
+        Buffer.add_char digests '\n';
+        units := su :: !units
+      end
     in
     List.iter
       (fun path ->
@@ -55,7 +68,7 @@ let scan_cached ~cache ~build_dir ~dirs =
         | Some Cache.Skipped -> incr hits
         | Some (Cache.Analyzed a) ->
           incr hits;
-          keep
+          keep ~path ~digest
             {
               su_source = a.source;
               su_has_mli = a.has_mli;
@@ -77,7 +90,7 @@ let scan_cached ~cache ~build_dir ~dirs =
                     intra = su.su_intra;
                     summary = su.su_summary;
                   });
-             keep su))
+             keep ~path ~digest su))
       paths;
     (match !errors with
      | e :: _ -> Error e
@@ -87,14 +100,28 @@ let scan_cached ~cache ~build_dir ~dirs =
            (fun a b -> String.compare a.su_source b.su_source)
            !units
        in
-       Ok (units, { lookups = !lookups; hits = !hits }))
+       let key =
+         Digest.to_hex (Digest.string (Buffer.contents digests))
+       in
+       Ok (units, { lookups = !lookups; hits = !hits }, key))
 
 let graph_of units = Callgraph.build (List.map (fun u -> u.su_summary) units)
 
+(* The summary store, cached whole under the combined cmt digest: a
+   warm run with no source changes skips all three fixpoints and only
+   recomputes the cheap protected-global index. *)
+let store_of ~cache ~key graph =
+  match Cache.lookup_summaries cache ~key with
+  | Some effs -> (Summary.of_effects graph effs, true)
+  | None ->
+    let store = Summary.infer graph in
+    Cache.store_summaries cache ~key (Summary.all store);
+    (store, false)
+
 (* Intraprocedural findings (cached per unit) + the filesystem half of
-   R5 + the interprocedural passes (whole-program, recomputed from
-   summaries every run — they are cheap relative to typedtree walks). *)
-let findings_of ?(require_mli = true) units graph =
+   R5 + the interprocedural passes (R4/R8 Lock, R6 Race, R7 Taint) as
+   clients of the summary store. *)
+let findings_of ?(require_mli = true) units store =
   let intra =
     List.concat_map
       (fun su ->
@@ -106,12 +133,12 @@ let findings_of ?(require_mli = true) units graph =
         else su.su_intra)
       units
   in
-  intra @ Race.analyze graph @ Taint.analyze graph
-  |> List.sort Finding.compare
+  let inter = Lock.analyze store @ Race.analyze store @ Taint.analyze store in
+  intra @ inter |> List.sort Finding.compare
 
 let analyze ?require_mli units =
   let units = List.map unit_of_info units in
-  findings_of ?require_mli units (graph_of units)
+  findings_of ?require_mli units (Summary.infer (graph_of units))
 
 let no_cache_stats = { lookups = 0; hits = 0 }
 
@@ -128,8 +155,8 @@ let render_text r =
     (fun (e : Baseline.entry) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "warning: stale baseline entry %s %s %s (no matching finding; \
-            remove it)\n"
+           "error: stale baseline entry %s %s %s — the pinned finding is \
+            discharged; remove the line from the baseline\n"
            e.rule e.fingerprint e.file))
     r.stale;
   let baselined = List.length r.findings - List.length r.fresh in

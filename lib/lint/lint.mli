@@ -3,10 +3,12 @@
 
     This is the layer both the [rmt_lint] executable and the fixture
     tests call.  {!scan_cached} walks the build tree digest-first so
-    unchanged typedtrees are never re-read; {!findings_of} combines the
-    per-unit intraprocedural findings with the interprocedural passes
-    ({!Race} R6, {!Taint} R7) run over the {!Callgraph}; and
-    {!apply_baseline} splits the result against a suppression file. *)
+    unchanged typedtrees are never re-read; {!store_of} infers (or
+    restores from cache) the {!Summary} effect store over the
+    whole-program {!Callgraph}; {!findings_of} combines the per-unit
+    intraprocedural findings with the store-client passes ({!Lock}
+    R4/R8, {!Race} R6, {!Taint} R7); and {!apply_baseline} splits the
+    result against a suppression file. *)
 
 type scanned_unit = {
   su_source : string;
@@ -34,19 +36,34 @@ val scan_cached :
   cache:Cache.t ->
   build_dir:string ->
   dirs:string list ->
-  (scanned_unit list * cache_stats, string) result
+  (scanned_unit list * cache_stats * string, string) result
 (** Walk every cmt under [build_dir]: digest, cache lookup, and only on
     a miss read the typedtree, analyze it and store the result back into
     [cache] (mutated in place; the caller decides whether to
-    {!Cache.save}).  Returns the units under [dirs] sorted by source
-    path.  Pass {!Cache.empty} for a cold, cache-free run. *)
+    {!Cache.save}).  Returns the units whose recorded source lives under
+    one of [dirs], sorted by source path — [dirs] bounds the analysis
+    universe, so a test-side sanitizer cannot launder a deliberately
+    unguarded library protocol — plus the combined digest key of those
+    units for {!store_of}.  Pass {!Cache.empty} for a cold, cache-free
+    run. *)
 
 val graph_of : scanned_unit list -> Callgraph.t
 
+val store_of :
+  cache:Cache.t -> key:string -> Callgraph.t -> Summary.store * bool
+(** The summary store for [graph], restored from [cache] under [key]
+    (the combined digest from {!scan_cached}) when nothing changed;
+    [true] on that warm path.  A miss runs {!Summary.infer} and stores
+    the effects back. *)
+
 val findings_of :
-  ?require_mli:bool -> scanned_unit list -> Callgraph.t -> Finding.t list
+  ?require_mli:bool ->
+  scanned_unit list ->
+  Summary.store ->
+  Finding.t list
 (** All rules: cached intraprocedural findings, the filesystem half of
-    R5 (unless [require_mli] is false), and R6/R7 over [graph]. *)
+    R5 (unless [require_mli] is false), and the store clients (R4/R8
+    {!Lock}, R6 {!Race}, R7 {!Taint}). *)
 
 val analyze :
   ?require_mli:bool -> Cmt_loader.unit_info list -> Finding.t list

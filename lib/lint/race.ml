@@ -20,33 +20,19 @@ let exempt_file file =
   String.ends_with ~suffix:"lib/workloads/parsweep.ml" file
   || String.equal file "parsweep.ml"
 
-(* Mutable globals living in the sanctioned hash-consing module are not
-   race targets: every access path in lib/core/hc.ml locks the one
-   global mutex (see the R4 carve-out in rules.ml), so a closure whose
-   only transitive mutable reach is hc.ml is fan-out safe.  Without this
-   filter, routing the restriction memos through Hc would flag every
-   Parsweep sweep that touches a cut decider.  The property the filter
-   leans on is tested at runtime: test/core/test_hc.ml hammers the
-   tables from four domains. *)
-let sanctioned_target file =
-  String.ends_with ~suffix:"lib/core/hc.ml" file || String.equal file "hc.ml"
-
-(* lib/net/mcast.ml is the second sanctioned fan-out engine, for the
-   captured-mutable branch: its workers share the per-domain mailbox
-   matrix and the barrier gate arrays by design.  Every shared slot is
-   written by exactly one domain per phase and read by others only
-   after the phase barrier (an Atomic handoff, with a Mutex/Condition
-   slow path), a single-writer-per-phase protocol this flow-insensitive
-   pass cannot see.  The property the carve-out leans on is pinned at
-   runtime: test/net/test_transport.ml proves mcast outcomes are
-   bit-for-bit the sequential engine's for every domain count. *)
-let sanctioned_capture file =
-  String.ends_with ~suffix:"lib/net/mcast.ml" file
-  || String.equal file "mcast.ml"
+(* Lock-protected mutable globals (Hc's interned tables and memo
+   caches, proven by the summary store's locked-only analysis) are not
+   race targets; barrier-disciplined spawn closures (Mcast's workers,
+   which synchronize every phase on the Gate) hand their capture
+   obligations to R8.  Both were hand-written file carve-outs before the
+   summary store existed; now they are analysis results, and a
+   regression — an Hc entry point that skips [locked], an Mcast worker
+   that drops the barrier — resurfaces here as a finding. *)
 
 let rule = "R6"
 
-let analyze graph =
+let analyze store =
+  let graph = Summary.graph store in
   let findings = ref [] in
   let add f = findings := f :: !findings in
   List.iter
@@ -54,10 +40,11 @@ let analyze graph =
       if not (exempt_file f.fn_file) then
         List.iter
           (fun (fo : Callgraph.fanout) ->
-            (* captured mutable state *)
+            (* captured mutable state; a barrier-synchronized closure's
+               captures are R8's obligation instead *)
             List.iter
               (fun (var, kind) ->
-                if not (sanctioned_capture f.fn_file) then
+                if not (Summary.barrier_disciplined fo) then
                   add
                   (Finding.make ~rule ~file:f.fn_file ~line:fo.fan_line
                      ~col:fo.fan_col ~context:fo.fan_context
@@ -85,7 +72,7 @@ let analyze graph =
               match Callgraph.find graph name with
               | Some g ->
                 g.mutable_global <> None
-                && not (sanctioned_target g.fn_file)
+                && not (Summary.lock_protected store g.fn_name)
               | None -> false
             in
             let seen = Hashtbl.create 8 in

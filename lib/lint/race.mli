@@ -8,12 +8,14 @@
     Domain-local allocations are exempt by construction;
     [lib/workloads/parsweep.ml] (the sanctioned fan-out engine, whose
     disjoint-index writes this flow-insensitive pass cannot justify) is
-    exempt by file. *)
+    exempt by file.  Lock-protected globals and barrier-disciplined
+    captures are exempt by the {!Summary} store's analysis — their
+    residual obligations belong to R8 ({!Lock}). *)
 
 val rule : string
 (** ["R6"]. *)
 
 val exempt_file : string -> bool
 
-val analyze : Callgraph.t -> Finding.t list
+val analyze : Summary.store -> Finding.t list
 (** Sorted by {!Finding.compare}. *)

@@ -71,9 +71,13 @@ let all =
          work out to OCaml 5 Domains; any function they call shares\n\
          module-level state across domains without synchronization, which\n\
          is a data race and makes sweep results depend on scheduling.\n\
-         Fix: allocate the state inside the function, thread it through\n\
-         arguments, or use Atomic.t / Domain.DLS for genuinely global\n\
-         counters.";
+         The check runs over the summary store: a binding is exempt only\n\
+         when the locked-only analysis proves every open reference to it\n\
+         sits behind a lock-acquiring wrapper (the hc.ml pattern) — there\n\
+         is no by-file carve-out.  Fix: allocate the state inside the\n\
+         function, thread it through arguments, use Atomic.t /\n\
+         Domain.DLS for genuinely global counters, or route every access\n\
+         through a locked wrapper.";
     };
     {
       id = "R5";
@@ -136,10 +140,41 @@ let all =
          missing: a full-looking message set whose claimed graph had no\n\
          D-R path at all (vacuous fullness), letting a spammed value\n\
          through the cover check.  The finding prints the witnessing\n\
-         source->sink call chain.  Fix: guard the decision with the\n\
-         missing verification, or pin with a justification naming the\n\
-         guard the analysis cannot see (e.g. a higher-order decider\n\
-         argument).";
+         source->sink call chain.  The pass is higher-order aware: a\n\
+         guard reaching the sink through a function-valued argument (a\n\
+         ~decider parameter) is resolved through the summary store's\n\
+         instantiation sets, so only genuinely unguarded chains remain.\n\
+         Fix: guard the decision with the missing verification, or pin\n\
+         with a justification naming the guard the analysis cannot see.";
+    };
+    {
+      id = "R8";
+      name = "lock-discipline";
+      summary =
+        "critical-section obligations: re-entry, heavy compute under \
+         lock, may-raise without Fun.protect, barrier captures";
+      details =
+        "The repository runs two deliberate concurrency protocols, and\n\
+         R8 verifies their obligations instead of trusting carve-outs.\n\
+         (1) Hc's compute-outside-lock: a closure passed to a\n\
+         lock-acquiring wrapper (Hc.locked, Mutex.protect) must not\n\
+         transitively re-acquire a mutex (the global lock is not\n\
+         re-entrant) and must not reach allocation-heavy compute\n\
+         (Structure.restrict/join, the Solvability core, Cut search,\n\
+         Subset_enum, the Parsweep fan-out) — probe under the lock,\n\
+         compute outside, re-lock to store.  (2) Raw-lock hygiene: in\n\
+         source order between Mutex.lock and Mutex.unlock, a call that\n\
+         may raise (failwith, invalid_arg, raise, or any function whose\n\
+         summary says so) with no Fun.protect in the region leaves the\n\
+         lock held on the exception path.  (3) Mcast's barrier-capture\n\
+         discipline: a Domain.spawn closure synchronizing on a phase\n\
+         barrier (Gate.await/set, Barrier.await, Condition.wait) may\n\
+         share captures, but only per-domain indexable ones (array,\n\
+         bytes); a shared ref or Hashtbl has no single-writer-per-phase\n\
+         story.  R6 stands down on barrier-disciplined closures; R8 owns\n\
+         the residual obligation.  Fix: restructure to\n\
+         probe/compute/store, wrap the region in Fun.protect, or give\n\
+         each domain its own indexed slot.";
     };
   ]
 
@@ -188,14 +223,6 @@ let is_forbidden_random name =
 
 let is_obj_magic = qualified_matches [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]
 
-(* R4 carve-out: lib/core/hc.ml is the sanctioned hash-consing home —
-   weak cons tables and bounded memo caches ARE top-level mutable state
-   by design, guarded by one global mutex (every entry point locks) and
-   exercised under a real fan-out by test/core/test_hc.ml.  The matching
-   R6 filter lives in race.ml. *)
-let r4_sanctioned file =
-  String.ends_with ~suffix:"lib/core/hc.ml" file || String.equal file "hc.ml"
-
 let r3_exempt file =
   String.ends_with ~suffix:"lib/base/prng.ml" file
   || String.equal file "prng.ml"
@@ -207,7 +234,6 @@ let type_is_base = Names.type_is_base
 let type_is_list = Names.type_is_list
 let show_type = Names.show_type
 let first_arg_type = Names.first_arg_type
-let mutable_container = Names.mutable_container
 
 (* ------------------------------------------------------------------ *)
 (* The traversal                                                       *)
@@ -323,17 +349,6 @@ let check_structure ~file str =
          List.iter (sub.expr sub) actuals)
     | _ -> default.expr sub e
   in
-  let record_with_mutable_field e =
-    match e.exp_desc with
-    | Texp_record { fields; _ } ->
-      Array.exists
-        (fun (ld, _) ->
-          match ld.Types.lbl_mut with
-          | Asttypes.Mutable -> true
-          | Asttypes.Immutable -> false)
-        fields
-    | _ -> false
-  in
   let structure_item (sub : Tast_iterator.iterator) item =
     match item.str_desc with
     | Tstr_value (_, vbs) ->
@@ -342,22 +357,9 @@ let check_structure ~file str =
           (match pat_bound_idents vb.vb_pat with
            | id :: _ -> context := Ident.name id
            | [] -> context := "pattern");
-          (match mutable_container vb.vb_expr.exp_type with
-           | Some what when not (r4_sanctioned file) ->
-             add ~loc:vb.vb_loc "R4"
-               (Printf.sprintf
-                  "top-level mutable state (%s) is shared across Domain \
-                   fan-out; allocate per call or use Atomic"
-                  what)
-           | Some _ -> ()
-           | None ->
-             if
-               record_with_mutable_field vb.vb_expr
-               && not (r4_sanctioned file)
-             then
-               add ~loc:vb.vb_loc "R4"
-                 "top-level record with mutable fields is shared across \
-                  Domain fan-out; allocate per call or use Atomic");
+          (* R4 (top-level mutable state) is judged by the Lock pass
+             over the summary store, where lock-protection can exempt
+             it; this walk only tracks the context. *)
           sub.expr sub vb.vb_expr)
         vbs;
       context := "module"

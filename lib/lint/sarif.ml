@@ -248,7 +248,7 @@ let tool_name = "rmt-lint"
 let fingerprint_key = "rmtLint/v2"
 
 let level_of_rule id =
-  match id with "R6" | "R7" -> "error" | _ -> "warning"
+  match id with "R6" | "R7" | "R8" -> "error" | _ -> "warning"
 
 let rule_ids = List.map (fun (m : Rules.meta) -> m.id) Rules.all
 
@@ -284,7 +284,21 @@ let physical_location ~file ~line ~col =
           ] );
     ]
 
-let code_flow chain =
+(* When the summary store is available, each thread-flow hop carries
+   the hop function's effect summary — the reviewer sees at a glance
+   why the chain is admitted (no sanitizer bit) and what the hop
+   contributes (source, sink, mutates). *)
+let hop_message ?store (h : Finding.hop) =
+  match store with
+  | None -> h.hop_fn
+  | Some st ->
+    (match Summary.find st h.hop_fn with
+     | Some e when Summary.flags e <> [] ->
+       Printf.sprintf "%s [%s]" h.hop_fn
+         (String.concat ", " (Summary.flags e))
+     | _ -> h.hop_fn)
+
+let code_flow ?store chain =
   Json.Obj
     [
       ( "threadFlows",
@@ -305,8 +319,11 @@ let code_flow chain =
                                      physical_location ~file:h.hop_file
                                        ~line:h.hop_line ~col:0 );
                                    ( "message",
-                                     Json.Obj [ ("text", Json.Str h.hop_fn) ]
-                                   );
+                                     Json.Obj
+                                       [
+                                         ( "text",
+                                           Json.Str (hop_message ?store h) );
+                                       ] );
                                  ] );
                            ])
                        chain) );
@@ -318,7 +335,7 @@ let message_text (f : Finding.t) =
   if f.chain = [] then f.message
   else f.message ^ "; call chain: " ^ Finding.chain_to_text f.chain
 
-let result_json entries (f : Finding.t) =
+let result_json ?store entries (f : Finding.t) =
   let fp = Finding.fingerprint f in
   let suppression =
     List.find_opt
@@ -350,7 +367,7 @@ let result_json entries (f : Finding.t) =
   in
   let base =
     if f.chain = [] then base
-    else base @ [ ("codeFlows", Json.Arr [ code_flow f.chain ]) ]
+    else base @ [ ("codeFlows", Json.Arr [ code_flow ?store f.chain ]) ]
   in
   let base =
     match suppression with
@@ -371,7 +388,7 @@ let result_json entries (f : Finding.t) =
   in
   Json.Obj base
 
-let document ~entries (report : Lint.report) =
+let document ?store ~entries (report : Lint.report) =
   Json.Obj
     [
       ("$schema", Json.Str schema_uri);
@@ -395,9 +412,11 @@ let document ~entries (report : Lint.report) =
                           ] );
                     ] );
                 ( "results",
-                  Json.Arr (List.map (result_json entries) report.findings) );
+                  Json.Arr
+                    (List.map (result_json ?store entries) report.findings) );
               ];
           ] );
     ]
 
-let render ~entries report = Json.render (document ~entries report)
+let render ?store ~entries report =
+  Json.render (document ?store ~entries report)

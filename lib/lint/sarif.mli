@@ -7,8 +7,9 @@
     interprocedural call chain as a [codeFlow], and — when the baseline
     pins it — a [suppressions] entry quoting the justification, so
     uploaded dashboards show pinned findings as suppressed rather than
-    open.  R6/R7 report at level [error], the intraprocedural rules at
-    [warning]. *)
+    open.  When the {!Summary} store is supplied, every thread-flow hop
+    is annotated with the hop function's effect summary.  R6/R7/R8
+    report at level [error], the intraprocedural rules at [warning]. *)
 
 module Json : sig
   type t =
@@ -38,7 +39,9 @@ val tool_name : string
 val fingerprint_key : string
 (** The [partialFingerprints] key, ["rmtLint/v2"]. *)
 
-val document : entries:Baseline.entry list -> Lint.report -> Json.t
+val document :
+  ?store:Summary.store -> entries:Baseline.entry list -> Lint.report -> Json.t
 
-val render : entries:Baseline.entry list -> Lint.report -> string
+val render :
+  ?store:Summary.store -> entries:Baseline.entry list -> Lint.report -> string
 (** [document] rendered to text — the payload CI uploads. *)

@@ -23,34 +23,32 @@
    Flood messages, Engine strategies).  Sinks are receiver decisions
    ([_.decided <- ...]) and Campaign verdict construction.  A finding is
    a source-to-sink call chain none of whose nodes reaches a sanitizer
-   of some family; the chain is printed in full. *)
+   of some family; the chain is printed in full.
+
+   Two refinements keep the pass honest:
+
+   - "reaches a sanitizer" is the summary store's verdict, which
+     includes one higher-order hop: the guards of a function flowing
+     into a [~decider]-style parameter count for the function that
+     receives it, so a protocol guarded through its instantiations is
+     discharged by analysis rather than by baseline justification;
+   - the connectivity family only obligates chains whose {e source}
+     binds a trail-carrying payload ([Flood.msg]).  A connectivity
+     check verifies a {e claimed topology}; a message that carries no
+     topology claim (a bare value in an inbox) gives the check nothing
+     to verify, so demanding it would be vacuous.  The cover family is
+     obligated by every adversarial source: solvability of the
+     instance is a precondition of deciding at all. *)
 
 let rule = "R7"
 
 type family = Cover | Connectivity
 
-let cover_sanitizers =
-  [
-    "Cut.find_rmt_cut";
-    "Cut.find_rmt_zpp_cut";
-    "Cut.is_rmt_cut";
-    "Solvability.is_solvable";
-    "Solvability.partial_knowledge";
-    "Solvability.ad_hoc";
-    "Solvability.feasibility_equal";
-    "Structure.mem";
-    "Structure.maximal_sets";
-    "Subset_enum.connected_supersets";
-  ]
-
-let connectivity_sanitizers =
-  [
-    "Connectivity.connected";
-    "Connectivity.connected_avoiding";
-    "Connectivity.is_cut";
-    "Paths.shortest_path";
-    "Flood.trail_ok";
-  ]
+(* The name lists live in Summary (which folds them into every
+   function's [s_cover]/[s_conn] bits during inference); this module
+   owns the rationale and the reporting. *)
+let cover_sanitizers = Summary.cover_sanitizers
+let connectivity_sanitizers = Summary.connectivity_sanitizers
 
 let sanitizers = function
   | Cover -> cover_sanitizers
@@ -71,23 +69,34 @@ let family_hint = function
 let is_source (f : Callgraph.fn_summary) =
   f.inbox_param || f.adversary_types <> []
 
-let refs_sanitizer fam (f : Callgraph.fn_summary) =
-  let names = sanitizers fam in
-  List.exists
-    (fun (r : Callgraph.ref_site) -> Names.qualified_matches names r.ref_name)
-    f.refs
+(* Payload types that carry a topology claim (a relay trail); only
+   sources binding one of these obligate the connectivity family. *)
+let trail_source_types = [ "Flood.msg" ]
 
-(* [sanitized fam] is the membership test for "references a [fam]
-   sanitizer, directly or in some transitive callee". *)
-let sanitized graph fam =
-  Callgraph.reaches graph ~marked:(refs_sanitizer fam)
+let source_for fam (f : Callgraph.fn_summary) =
+  match fam with
+  | Cover -> is_source f
+  | Connectivity ->
+    List.exists
+      (Names.qualified_matches trail_source_types)
+      f.adversary_types
+
+(* [sanitized store fam] is the membership test for "references a [fam]
+   sanitizer — directly, in some transitive callee, or in a function
+   flowing into one of its higher-order parameters".  The last clause is
+   the summary store's instantiation analysis: a [~decider] argument's
+   guards count for the function that receives it. *)
+let sanitized store fam =
+  match fam with
+  | Cover -> Summary.cover_sanitized store
+  | Connectivity -> Summary.conn_sanitized store
 
 (* Shortest source-to-[sink_fn] call chain every node of which fails
    [admit] ... i.e. backward BFS over callers through admitted nodes. *)
-let source_chain graph ~admit start =
+let source_chain graph ~fam ~admit start =
   let accept name =
     match Callgraph.find graph name with
-    | Some f -> is_source f
+    | Some f -> source_for fam f
     | None -> false
   in
   if not (admit start) then None
@@ -134,9 +143,10 @@ let sink_word (f : Callgraph.fn_summary) =
   |> List.sort_uniq String.compare
   |> String.concat ", "
 
-let analyze graph =
-  let sanitized_of = [ (Cover, sanitized graph Cover);
-                       (Connectivity, sanitized graph Connectivity) ] in
+let analyze store =
+  let graph = Summary.graph store in
+  let sanitized_of = [ (Cover, sanitized store Cover);
+                       (Connectivity, sanitized store Connectivity) ] in
   let findings = ref [] in
   List.iter
     (fun (f : Callgraph.fn_summary) ->
@@ -149,7 +159,7 @@ let analyze graph =
               if is_sanitized f.fn_name then None
               else
                 match
-                  source_chain graph
+                  source_chain graph ~fam
                     ~admit:(fun n -> not (is_sanitized n))
                     f.fn_name
                 with
@@ -199,10 +209,11 @@ let analyze graph =
     (Callgraph.functions graph);
   List.sort Finding.compare !findings
 
-let audit graph =
+let audit store =
+  let graph = Summary.graph store in
   let buf = Buffer.create 1024 in
-  let sanitized_of = [ (Cover, sanitized graph Cover);
-                       (Connectivity, sanitized graph Connectivity) ] in
+  let sanitized_of = [ (Cover, sanitized store Cover);
+                       (Connectivity, sanitized store Connectivity) ] in
   let sources =
     Callgraph.functions graph |> List.filter is_source
     |> List.map (fun (f : Callgraph.fn_summary) -> f.fn_name)
@@ -230,7 +241,7 @@ let audit graph =
                  (family_name fam ^ ":"))
           else
             match
-              source_chain graph
+              source_chain graph ~fam
                 ~admit:(fun n -> not (is_sanitized n))
                 f.fn_name
             with
@@ -242,9 +253,12 @@ let audit graph =
             | None ->
               Buffer.add_string buf
                 (Printf.sprintf
-                   "      %-21s unguarded, but no adversarial source \
+                   "      %-21s unguarded, but no %sadversarial source \
                     reaches it\n"
-                   (family_name fam ^ ":")))
+                   (family_name fam ^ ":")
+                   (match fam with
+                    | Cover -> ""
+                    | Connectivity -> "trail-carrying ")))
         sanitized_of)
     sinks;
   Buffer.contents buf

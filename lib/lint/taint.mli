@@ -19,8 +19,11 @@
       success verifies nothing.
 
     A function is sanitized in a family when it references one of that
-    family's predicates directly or in a transitive callee.  Findings
-    are anchored at the sink and carry the full witnessing chain. *)
+    family's predicates directly, in a transitive callee, or — via the
+    {!Summary} store's instantiation analysis — in a function its
+    callers pass into one of its higher-order parameters (a [~decider]
+    argument's guards count).  Findings are anchored at the sink and
+    carry the full witnessing chain. *)
 
 val rule : string
 (** ["R7"]. *)
@@ -32,10 +35,10 @@ val family_name : family -> string
 
 val is_source : Callgraph.fn_summary -> bool
 
-val analyze : Callgraph.t -> Finding.t list
+val analyze : Summary.store -> Finding.t list
 (** Sorted by {!Finding.compare}. *)
 
-val audit : Callgraph.t -> string
+val audit : Summary.store -> string
 (** Human-readable report of every source, every sink and, per sink and
     family, either "guarded" or the unguarded witness chain — the
     [rmt-lint paths] subcommand. *)

@@ -1,8 +1,8 @@
-(* Mcast-style per-domain mailbox fan-out in an UNSANCTIONED file — R6
-   must still fire.  The sanctioned-capture carve-out in race.ml is
-   keyed to lib/net/mcast.ml alone; the identical shape anywhere else
-   (a mailbox matrix captured by Domain.spawn closures) stays a
-   finding, so the carve-out cannot silently widen. *)
+(* Mcast-style per-domain mailbox fan-out with NO phase barrier — R6
+   must fire.  R6 stands down only for spawn closures that synchronize
+   on a Gate/Barrier/Condition barrier (whose residual obligations R8
+   then owns); a mailbox matrix captured by barrier-free closures is an
+   unsynchronized race, wherever it lives. *)
 
 let exchange xs =
   let mail : int list array array = Array.make_matrix 4 4 [] in

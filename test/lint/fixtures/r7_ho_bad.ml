@@ -1,0 +1,16 @@
+(* Higher-order receiver instantiated with an UNCHECKED decider — R7
+   violation.  The automaton's only guard is its [~decide] parameter;
+   the summary store resolves the call-site argument and finds
+   [trusting_decide], which reaches no cover sanitizer, so the sink
+   stays unguarded. *)
+
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+let trusting_decide _rs _x = true
+
+let automaton rs ~decide ~inbox =
+  match inbox with
+  | (_src, x) :: _ -> if decide rs x then rs.decided <- Some x
+  | [] -> ()
+
+let run rs ~inbox = automaton rs ~decide:trusting_decide ~inbox

@@ -1,0 +1,8 @@
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+val trusting_decide : rs -> int -> bool
+
+val automaton :
+  rs -> decide:(rs -> int -> bool) -> inbox:(int * int) list -> unit
+
+val run : rs -> inbox:(int * int) list -> unit

@@ -1,0 +1,21 @@
+(* Higher-order receiver guarded through its instantiation — R7 clean.
+   The automaton never references a sanitizer itself; its guard is the
+   [~decide] argument, and the only decider in scope runs the
+   Structure-checked cover test.  The summary store's one-hop
+   instantiation analysis must discharge this without a baseline pin —
+   the fixture twin of the Zcpa.automaton / Zcpa.direct_oracle pair. *)
+
+module Structure = struct
+  let mem _claims _x = false
+end
+
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+let checked_decide rs x = Structure.mem rs.claims x
+
+let automaton rs ~decide ~inbox =
+  match inbox with
+  | (_src, x) :: _ -> if decide rs x then rs.decided <- Some x
+  | [] -> ()
+
+let run rs ~inbox = automaton rs ~decide:checked_decide ~inbox

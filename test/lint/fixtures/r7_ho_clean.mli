@@ -1,0 +1,12 @@
+module Structure : sig
+  val mem : (int * int) list -> int -> bool
+end
+
+type rs = { mutable decided : int option; claims : (int * int) list }
+
+val checked_decide : rs -> int -> bool
+
+val automaton :
+  rs -> decide:(rs -> int -> bool) -> inbox:(int * int) list -> unit
+
+val run : rs -> inbox:(int * int) list -> unit

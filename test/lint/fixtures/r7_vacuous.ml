@@ -3,7 +3,11 @@
    Paths.find_simple_path — which the adversary satisfies by simply
    claiming a graph that contains some path.  rmt-lint deliberately does
    not count find_simple_path as a connectivity sanitizer, so R7 must
-   flag the decision with the positive-connectivity family missing. *)
+   flag the decision with the positive-connectivity family missing.
+
+   The message binds a trail-carrying [Flood.msg] payload: only such
+   sources obligate the connectivity family (a bare inbox value makes
+   no topology claim for the check to verify). *)
 
 module Structure = struct
   let mem _claims _x = false
@@ -13,13 +17,15 @@ module Paths = struct
   let find_simple_path _claims _src _dst = Some [ 0 ]
 end
 
+module Flood = struct
+  type msg = { value : int; trail : int list }
+end
+
 type rs = { mutable decided : int option; claims : (int * int) list }
 
-let try_value rs ~inbox =
-  match inbox with
-  | (src, x) :: _ ->
-    if
-      Structure.mem rs.claims x
-      && Paths.find_simple_path rs.claims src x <> None
-    then rs.decided <- Some x
-  | [] -> ()
+let try_value rs (m : Flood.msg) =
+  if
+    Structure.mem rs.claims m.Flood.value
+    && Paths.find_simple_path rs.claims (List.hd m.Flood.trail) m.Flood.value
+       <> None
+  then rs.decided <- Some m.Flood.value

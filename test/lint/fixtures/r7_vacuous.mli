@@ -1,3 +1,7 @@
+module Flood : sig
+  type msg = { value : int; trail : int list }
+end
+
 type rs = { mutable decided : int option; claims : (int * int) list }
 
-val try_value : rs -> inbox:(int * int) list -> unit
+val try_value : rs -> Flood.msg -> unit

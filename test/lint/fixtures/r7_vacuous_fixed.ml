@@ -11,13 +11,16 @@ module Connectivity = struct
   let connected_avoiding _claims _src _x = true
 end
 
+module Flood = struct
+  type msg = { value : int; trail : int list }
+end
+
 type rs = { mutable decided : int option; claims : (int * int) list }
 
-let try_value rs ~inbox =
-  match inbox with
-  | (src, x) :: _ ->
-    if
-      Structure.mem rs.claims x
-      && Connectivity.connected_avoiding rs.claims src x
-    then rs.decided <- Some x
-  | [] -> ()
+let try_value rs (m : Flood.msg) =
+  if
+    Structure.mem rs.claims m.Flood.value
+    && Connectivity.connected_avoiding rs.claims
+         (List.hd m.Flood.trail)
+         m.Flood.value
+  then rs.decided <- Some m.Flood.value

@@ -27,8 +27,8 @@ let () =
     | Ok us -> us
     | Error e -> fail "fixture scan failed: %s" e
   in
-  if List.length units <> 17 then
-    fail "expected 17 fixture units, scanned %d — fixture library changed?"
+  if List.length units <> 21 then
+    fail "expected 21 fixture units, scanned %d — fixture library changed?"
       (List.length units);
   let findings = Rmt_lint.Lint.analyze units in
   let actual =

@@ -74,7 +74,7 @@ let race_findings cuts =
     Callgraph.build
       [ Callgraph.summarize ~source:u.Cmt_loader.source u.Cmt_loader.structure ]
   in
-  Race.analyze graph
+  Race.analyze (Summary.infer graph)
 
 let () =
   let fingerprints = Hashtbl.create 4 in

@@ -10,14 +10,16 @@ build:
 test:
 	dune runtest
 
-# Typedtree determinism & safety analysis over lib/ (rules R1-R8; run
+# Typedtree determinism & safety analysis over lib/ (rules R1-R10; run
 # `dune exec bin/rmt_lint.exe -- rules` for the catalog).  Fails on any
 # finding not pinned in lint-baseline.txt.  Unchanged .cmt files are
 # served from the digest-keyed cache; `make lint-clean` forces a cold run.
+# The extracted protocol-model (alphabets, decision fields, symbolic
+# send bounds) lands in lint-model.json, same payload CI uploads.
 lint:
 	dune build @check
 	dune exec bin/rmt_lint.exe -- check --baseline lint-baseline.txt \
-	  --cache _build/rmt-lint.cache
+	  --cache _build/rmt-lint.cache --model-out lint-model.json
 
 lint-clean:
 	rm -f _build/rmt-lint.cache

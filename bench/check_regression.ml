@@ -140,7 +140,7 @@ let () =
     Printf.eprintf "no benchmark entries in %s\n" candidate_path;
     exit 2
   end;
-  let regressions = ref 0 and checked = ref 0 in
+  let regressions = ref 0 and checked = ref 0 and skipped = ref 0 in
   Printf.printf "%-28s %14s %14s %9s\n" "kernel" "baseline ns" "candidate ns"
     "ratio";
   List.iter
@@ -151,6 +151,7 @@ let () =
           (* the committed fit is noise: a ratio against it gates nothing.
              Deliberately NOT counted as checked — but also not a failure:
              the row is still present in both files, just unusable. *)
+          incr skipped;
           Printf.printf "%-28s %14.1f %14s %9s  SKIPPED (baseline r²=%.2f)\n"
             name base_ns "-" "-" r2
         | _ -> (
@@ -178,13 +179,21 @@ let () =
       baseline_path;
     exit 2
   end;
+  (* An unusable-baseline row is invisible unless someone scrolls the
+     table; the summary line keeps the count of what the gate did NOT
+     check in front of whoever reads the CI tail. *)
+  let skipped_note =
+    if !skipped = 0 then ""
+    else Printf.sprintf " (%d row(s) SKIPPED: baseline r² < %.1f)" !skipped min_r2
+  in
   if !regressions > 0 then begin
     Printf.printf
       "\n%d kernel(s) regressed beyond their threshold of the committed \
-       baseline.\n"
-      !regressions;
+       baseline.%s\n"
+      !regressions skipped_note;
     exit 1
   end
   else
-    Printf.printf "\nall %d tracked kernels within threshold of the baseline.\n"
-      !checked
+    Printf.printf
+      "\nall %d tracked kernels within threshold of the baseline.%s\n"
+      !checked skipped_note

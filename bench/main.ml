@@ -1721,13 +1721,44 @@ let lint () =
   let _, warm_store_s =
     Timing.time_it (fun () -> L.Summary.of_effects graph effs)
   in
+  (* Protocol-model extraction: cold re-walks every typedtree through
+     Model.extract, warm assembles from the cached per-unit fragments
+     alone (the path `rmt_lint check --model-out` takes on a hit). *)
+  let model_cold, model_cold_s =
+    Timing.time_it (fun () ->
+        match L.Cmt_loader.scan ~build_dir ~dirs with
+        | Error e -> failwith ("lint bench: " ^ e)
+        | Ok us ->
+          L.Model.assemble
+            (List.map
+               (fun (u : L.Cmt_loader.unit_info) ->
+                 L.Model.extract ~source:u.source u.structure)
+               us))
+  in
+  let warm_units =
+    match L.Lint.scan_cached ~cache ~build_dir ~dirs with
+    | Error e -> failwith ("lint bench: " ^ e)
+    | Ok (us, _, _) -> us
+  in
+  let model_warm, model_warm_s =
+    Timing.time_it (fun () -> L.Lint.model_of warm_units)
+  in
+  if
+    not
+      (String.equal
+         (L.Model.fingerprint model_cold)
+         (L.Model.fingerprint model_warm))
+  then failwith "lint bench: cold and warm model fingerprints diverge";
   Printf.printf
     "  cold: %.3fs   warm: %.3fs   (%d findings; warm reused %d/%d cmts, \
      %.1f%%)\n\
     \  summaries: infer %.3fs   of_effects %.3fs   (summary cache: cold \
-     miss, warm hit)\n"
+     miss, warm hit)\n\
+    \  model: cold %.3fs   warm %.3fs   (%d protocols, fingerprints agree)\n"
     cold_s warm_s cold_findings warm_stats.L.Lint.hits
-    warm_stats.L.Lint.lookups rate infer_s warm_store_s;
+    warm_stats.L.Lint.lookups rate infer_s warm_store_s model_cold_s
+    model_warm_s
+    (List.length model_cold.L.Model.protocols);
   lint_json_sections :=
     [
       Printf.sprintf
@@ -1735,16 +1766,21 @@ let lint () =
         \    {\"name\": \"rmt/lint/cold\", \"ns_per_run\": %.1f},\n\
         \    {\"name\": \"rmt/lint/warm\", \"ns_per_run\": %.1f},\n\
         \    {\"name\": \"rmt/lint/summaries-cold\", \"ns_per_run\": %.1f},\n\
-        \    {\"name\": \"rmt/lint/summaries-warm\", \"ns_per_run\": %.1f}\n\
+        \    {\"name\": \"rmt/lint/summaries-warm\", \"ns_per_run\": %.1f},\n\
+        \    {\"name\": \"rmt/lint/model-cold\", \"ns_per_run\": %.1f},\n\
+        \    {\"name\": \"rmt/lint/model-warm\", \"ns_per_run\": %.1f}\n\
         \  ]"
         (cold_s *. 1e9) (warm_s *. 1e9) (infer_s *. 1e9)
-        (warm_store_s *. 1e9);
+        (warm_store_s *. 1e9) (model_cold_s *. 1e9) (model_warm_s *. 1e9);
       Printf.sprintf
         "\"cache\": {\"lookups\": %d, \"hits\": %d, \"hit_rate_percent\": \
          %.1f, \"summary_hit_rate_percent\": %.1f}"
         warm_stats.L.Lint.lookups warm_stats.L.Lint.hits rate
         (if warm_hit then 100.0 else 0.0);
       Printf.sprintf "\"findings\": %d" cold_findings;
+      Printf.sprintf "\"model\": {\"protocols\": %d, \"fingerprint\": \"%s\"}"
+        (List.length model_cold.L.Model.protocols)
+        (L.Model.fingerprint model_cold);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -5,6 +5,7 @@
      paths      Theorem-4 taint audit: sources, sinks, guard status
      graph      dump the cross-module call graph (--dot for GraphViz)
      summaries  dump per-function effect summaries (--json for CI)
+     model      dump extracted protocol automaton models (--json for CI)
      explain    print the rationale for one rule
      rules      list all rules
 
@@ -25,8 +26,10 @@
      rmt_lint check --cache _build/rmt-lint.cache --sarif rmt-lint.sarif
      rmt_lint paths
      rmt_lint summaries --json Zcpa
+     rmt_lint model --json
+     rmt_lint model Rmt_pka
      rmt_lint graph --dot | dot -Tsvg > callgraph.svg
-     rmt_lint explain R8 *)
+     rmt_lint explain R9 *)
 
 open Rmt_lint
 open Cmdliner
@@ -68,6 +71,15 @@ let summaries_out =
     & opt (some string) None
     & info [ "summaries-out" ] ~docv:"FILE" ~doc)
 
+let model_out =
+  let doc =
+    "Also write the protocol-model dump (lint-model.json: per-automaton \
+     alphabet, handled cases, decision reads, symbolic send bounds) to \
+     $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "model-out" ] ~docv:"FILE" ~doc)
+
 let cache_path =
   let doc =
     "Incremental cache file: unchanged .cmt files (by content digest) \
@@ -99,8 +111,8 @@ let scan_with_cache build_dir dirs cache_path =
     (match cache_path with Some p -> Cache.save p cache | None -> ());
     Ok (units, stats, store)
 
-let check_cmd build_dir dirs baseline json out sarif summaries_out cache_path
-    update =
+let check_cmd build_dir dirs baseline json out sarif summaries_out model_out
+    cache_path update =
   match scan_with_cache build_dir dirs cache_path with
   | Error e ->
     prerr_endline ("rmt-lint: " ^ e);
@@ -112,6 +124,12 @@ let check_cmd build_dir dirs baseline json out sarif summaries_out cache_path
      | Some path ->
        let oc = open_out path in
        output_string oc (Summary.render_json store);
+       close_out oc);
+    (match model_out with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Model.render_json (Lint.model_of units));
        close_out oc);
     (match (update, baseline) with
      | true, None ->
@@ -196,6 +214,27 @@ let summaries_cmd build_dir dirs cache_path json only =
     else print_string (Summary.render_text ?only store);
     0
 
+let model_cmd build_dir dirs cache_path json only =
+  match scan_with_cache build_dir dirs cache_path with
+  | Error e ->
+    prerr_endline ("rmt-lint: " ^ e);
+    2
+  | Ok (units, _, _) ->
+    let model = Lint.model_of units in
+    (match only with
+     | Some name when Model.find model name = None ->
+       Printf.eprintf
+         "rmt-lint: no automaton matches %S; known protocols: %s\n" name
+         (String.concat ", "
+            (List.map
+               (fun (p : Model.protocol) -> p.Model.p_name)
+               model.Model.protocols));
+       2
+     | _ ->
+       if json then print_string (Model.render_json ?only model)
+       else print_string (Model.render_text ?only model);
+       0)
+
 let explain_cmd rule =
   match Rules.find rule with
   | None ->
@@ -203,14 +242,14 @@ let explain_cmd rule =
       (String.concat ", " (List.map (fun m -> m.Rules.id) Rules.all));
     2
   | Some m ->
-    Printf.printf "%s (%s)\n  %s\n\n%s\n" m.Rules.id m.Rules.name
-      m.Rules.summary m.Rules.details;
+    Printf.printf "%s (%s)\n  %s\n  example: %s\n\n%s\n" m.Rules.id
+      m.Rules.name m.Rules.summary m.Rules.example m.Rules.details;
     0
 
 let check_term =
   Term.(
     const check_cmd $ build_dir $ dirs $ baseline $ json $ out $ sarif
-    $ summaries_out $ cache_path $ update_baseline)
+    $ summaries_out $ model_out $ cache_path $ update_baseline)
 
 let check =
   let doc = "lint the repository's typedtrees (the default command)" in
@@ -258,20 +297,45 @@ let summaries =
     (Cmd.info "summaries" ~doc)
     Term.(const summaries_cmd $ build_dir $ sdirs $ cache_path $ json $ only)
 
+let model =
+  let only =
+    let doc =
+      "Restrict the dump to one protocol (automaton name, bare suffix, \
+       or module prefix, case-insensitive: `Rmt_pka.automaton', \
+       `automaton', `Naive', ...)."
+    in
+    Arg.(
+      value & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let mdirs =
+    let doc = "Source directory to analyze (repeatable)." in
+    Arg.(value & opt_all string [ "lib" ] & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "dump the extracted protocol automaton models: per automaton the \
+     message-constructor alphabet, the handled cases, the mutable state \
+     fields the decision reads, round/dedup sensitivity, and the \
+     symbolic per-step send bounds the cost-bound test enforces"
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc)
+    Term.(const model_cmd $ build_dir $ mdirs $ cache_path $ json $ only)
+
 let explain =
   let doc = "describe one rule and the invariant it protects" in
   let rule =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"RULE" ~doc:"Rule identifier, R1..R8.")
+      & info [] ~docv:"RULE" ~doc:"Rule identifier, R1..R10.")
   in
   Cmd.v (Cmd.info "explain" ~doc) Term.(const explain_cmd $ rule)
 
 let rules_cmd () =
   List.iter
     (fun m ->
-      Printf.printf "%s  %-22s %s\n" m.Rules.id m.Rules.name m.Rules.summary)
+      Printf.printf "%-4s %-22s %s\n     e.g. %s\n" m.Rules.id m.Rules.name
+        m.Rules.summary m.Rules.example)
     Rules.all;
   0
 
@@ -287,4 +351,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default:check_term info
-          [ check; paths; graph; summaries; explain; rules ]))
+          [ check; paths; graph; summaries; model; explain; rules ]))

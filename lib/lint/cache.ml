@@ -23,6 +23,7 @@ type entry =
       has_mli : bool;
       intra : Finding.t list;  (** structural findings only, no R5 *)
       summary : Callgraph.unit_summary;
+      model : Model.unit_model;  (** protocol-model fragment for R9/R10 *)
     }
 
 (* Bump the leading counter whenever Finding.t, the summary types or the
@@ -32,7 +33,7 @@ type entry =
    either, and the magic changes even on patch releases that keep
    [Sys.ocaml_version]-compatible sources. *)
 let version =
-  "rmt-lint-cache/2:" ^ Sys.ocaml_version ^ ":" ^ Config.cmt_magic_number
+  "rmt-lint-cache/3:" ^ Sys.ocaml_version ^ ":" ^ Config.cmt_magic_number
 
 type t = {
   entries : (string, string * entry) Hashtbl.t;

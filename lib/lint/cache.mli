@@ -19,6 +19,7 @@ type entry =
       has_mli : bool;
       intra : Finding.t list;  (** structural findings only, no R5 *)
       summary : Callgraph.unit_summary;
+      model : Model.unit_model;  (** protocol-model fragment for R9/R10 *)
     }
 
 type t

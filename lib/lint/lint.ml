@@ -3,6 +3,7 @@ type scanned_unit = {
   su_has_mli : bool;
   su_intra : Finding.t list;
   su_summary : Callgraph.unit_summary;
+  su_model : Model.unit_model;
   su_cached : bool;
 }
 
@@ -30,6 +31,8 @@ let unit_of_info (u : Cmt_loader.unit_info) =
     su_intra = structural u;
     su_summary =
       Callgraph.summarize ~source:u.Cmt_loader.source u.Cmt_loader.structure;
+    su_model =
+      Model.extract ~source:u.Cmt_loader.source u.Cmt_loader.structure;
     su_cached = false;
   }
 
@@ -74,6 +77,7 @@ let scan_cached ~cache ~build_dir ~dirs =
               su_has_mli = a.has_mli;
               su_intra = a.intra;
               su_summary = a.summary;
+              su_model = a.model;
               su_cached = true;
             }
         | None ->
@@ -89,6 +93,7 @@ let scan_cached ~cache ~build_dir ~dirs =
                     has_mli = su.su_has_mli;
                     intra = su.su_intra;
                     summary = su.su_summary;
+                    model = su.su_model;
                   });
              keep ~path ~digest su))
       paths;
@@ -107,6 +112,11 @@ let scan_cached ~cache ~build_dir ~dirs =
 
 let graph_of units = Callgraph.build (List.map (fun u -> u.su_summary) units)
 
+(* The whole-program protocol model: pure data over the cached per-unit
+   fragments, so it reruns on the warm path without touching a
+   typedtree. *)
+let model_of units = Model.assemble (List.map (fun u -> u.su_model) units)
+
 (* The summary store, cached whole under the combined cmt digest: a
    warm run with no source changes skips all three fixpoints and only
    recomputes the cheap protected-global index. *)
@@ -120,7 +130,7 @@ let store_of ~cache ~key graph =
 
 (* Intraprocedural findings (cached per unit) + the filesystem half of
    R5 + the interprocedural passes (R4/R8 Lock, R6 Race, R7 Taint) as
-   clients of the summary store. *)
+   clients of the summary store + the protocol-model passes (R9/R10). *)
 let findings_of ?(require_mli = true) units store =
   let intra =
     List.concat_map
@@ -134,7 +144,8 @@ let findings_of ?(require_mli = true) units store =
       units
   in
   let inter = Lock.analyze store @ Race.analyze store @ Taint.analyze store in
-  intra @ inter |> List.sort Finding.compare
+  let model = (model_of units).Model.findings in
+  intra @ inter @ model |> List.sort Finding.compare
 
 let analyze ?require_mli units =
   let units = List.map unit_of_info units in

@@ -15,6 +15,7 @@ type scanned_unit = {
   su_has_mli : bool;
   su_intra : Finding.t list;  (** structural findings only, no R5 *)
   su_summary : Callgraph.unit_summary;
+  su_model : Model.unit_model;  (** protocol-model fragment for R9/R10 *)
   su_cached : bool;  (** came out of the cache, typedtree never read *)
 }
 
@@ -49,6 +50,12 @@ val scan_cached :
 
 val graph_of : scanned_unit list -> Callgraph.t
 
+val model_of : scanned_unit list -> Model.t
+(** Whole-program protocol model ({!Model.assemble} over the cached
+    per-unit fragments): the [rmt_lint model] payload and the R9/R10
+    findings.  Pure data — reruns on the warm path without reading any
+    typedtree. *)
+
 val store_of :
   cache:Cache.t -> key:string -> Callgraph.t -> Summary.store * bool
 (** The summary store for [graph], restored from [cache] under [key]
@@ -62,8 +69,9 @@ val findings_of :
   Summary.store ->
   Finding.t list
 (** All rules: cached intraprocedural findings, the filesystem half of
-    R5 (unless [require_mli] is false), and the store clients (R4/R8
-    {!Lock}, R6 {!Race}, R7 {!Taint}). *)
+    R5 (unless [require_mli] is false), the store clients (R4/R8
+    {!Lock}, R6 {!Race}, R7 {!Taint}), and the protocol-model rules
+    (R9/R10 via {!model_of}). *)
 
 val analyze :
   ?require_mli:bool -> Cmt_loader.unit_info list -> Finding.t list

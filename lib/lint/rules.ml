@@ -4,6 +4,7 @@ type meta = {
   id : string;
   name : string;
   summary : string;
+  example : string;
   details : string;
 }
 
@@ -14,6 +15,8 @@ let all =
       name = "poly-compare";
       summary =
         "polymorphic compare/=/<>/min/max/Hashtbl.hash at a non-base type";
+      example =
+        "bad: `if s1 = s2' on Structure.t — fixed: `Structure.equal s1 s2'";
       details =
         "Polymorphic structural comparison is instantiated at a record,\n\
          abstract or type-variable type.  The repository defines dedicated\n\
@@ -31,6 +34,9 @@ let all =
       id = "R2";
       name = "iteration-order-leak";
       summary = "Hashtbl.fold builds a list that escapes unsorted";
+      example =
+        "bad: `Hashtbl.fold (fun k _ acc -> k :: acc) t []' returned as-is \
+         — fixed: pipe it through `List.sort Int.compare'";
       details =
         "A Hashtbl.fold application produces a list without a dominating\n\
          List.sort / List.stable_sort / List.sort_uniq / Nodeset.of_list\n\
@@ -49,6 +55,9 @@ let all =
       summary =
         "Stdlib.Random / Sys.time / Unix.gettimeofday outside prng.ml, \
          workloads/timing.ml and bench/";
+      example =
+        "bad: `Random.int n' in a protocol — fixed: `Prng.int rng n' with \
+         a threaded seed";
       details =
         "Every random draw in the repository must flow through the seeded\n\
          splitmix64 generator in lib/base/prng.ml so that experiments and\n\
@@ -64,6 +73,9 @@ let all =
       id = "R4";
       name = "domain-unsafe-state";
       summary = "top-level mutable state shared across Domain fan-out";
+      example =
+        "bad: `let cache = Hashtbl.create 64' at module level — fixed: \
+         allocate per call, or guard every access with a locked wrapper";
       details =
         "A module-level let binds a mutable container (ref, Hashtbl.t,\n\
          Buffer.t, Queue.t, Stack.t, bytes, array, or a record literal\n\
@@ -83,6 +95,9 @@ let all =
       id = "R5";
       name = "interface-hygiene";
       summary = "missing .mli or use of Obj.magic";
+      example =
+        "bad: lib/foo.ml with no lib/foo.mli — fixed: publish the \
+         interface and document its determinism contract";
       details =
         "Every module under lib/ must publish an interface: the .mli is\n\
          where determinism contracts (iteration order, identity\n\
@@ -98,6 +113,9 @@ let all =
       name = "domain-race";
       summary =
         "mutable state reachable from a closure fanned out across Domains";
+      example =
+        "bad: `let hits = ref 0 in Parsweep.map (fun i -> incr hits; ...)' \
+         — fixed: return counts and sum after the join";
       details =
         "A closure passed to Parsweep.map / Parsweep.map_list /\n\
          Domain.spawn captures a mutable value (ref, Hashtbl, Buffer,\n\
@@ -119,6 +137,9 @@ let all =
       name = "theorem4-taint";
       summary =
         "adversary-controlled data reaches a decision sink unverified";
+      example =
+        "bad: `st.decided <- Some v' straight from an inbox payload — \
+         fixed: guard with a cut/cover check AND a connectivity check";
       details =
         "Theorem 4 is a safety obligation: the receiver must never decide\n\
          a wrong value, however the adversary lies.  Statically that\n\
@@ -153,6 +174,9 @@ let all =
       summary =
         "critical-section obligations: re-entry, heavy compute under \
          lock, may-raise without Fun.protect, barrier captures";
+      example =
+        "bad: `Hc.locked (fun () -> Structure.join a b)' — fixed: probe \
+         under the lock, compute outside, re-lock to store";
       details =
         "The repository runs two deliberate concurrency protocols, and\n\
          R8 verifies their obligations instead of trusting carve-outs.\n\
@@ -175,6 +199,70 @@ let all =
          the residual obligation.  Fix: restructure to\n\
          probe/compute/store, wrap the region in Fun.protect, or give\n\
          each domain its own indexed slot.";
+    };
+    {
+      id = "R9";
+      name = "automaton-discipline";
+      summary =
+        "protocol automaton breaks the round-machine contract: decision \
+         not write-once, inbox head-only, or unhandled message shape";
+      example =
+        "bad: `match inbox with (_, x) :: _ -> decide x' (Naive) — fixed: \
+         fold over the whole inbox before deciding";
+      details =
+        "Theorem 4's safety argument treats every ('s,'m)\n\
+         Transport.automaton as a well-behaved round machine, and R9\n\
+         checks the contract on the model extracted from its typedtree:\n\
+         - decision write-once/monotone: no step-reachable path assigns\n\
+           a field the `decision' component reads without first reading\n\
+           it (an unguarded write can map Some v to a different Some),\n\
+           and no path assigns it a literal None (a decision reset);\n\
+         - handler totality: every message constructor an honest\n\
+           init/step can send is matched by some step-reachable case —\n\
+           an unmatched constructor is a delivery an honest node drops\n\
+           on the floor;\n\
+         - whole-inbox consumption: a step that matches only the head\n\
+           of its inbox (the Naive.first_delivery strawman) makes the\n\
+           decision depend on delivery order within a round, which the\n\
+           adversary schedules.\n\
+         Replay acceptance is deliberately NOT a finding: whether step\n\
+         reads ~round and whether ingestion is dedup-guarded\n\
+         (Hashtbl.mem / List.mem before recording) are emitted as model\n\
+         fields in `rmt_lint model' for audit — PKA's dedup guard is\n\
+         correct despite being round-insensitive.  Fix: guard decision\n\
+         writes on the current value, handle (or explicitly ignore with\n\
+         a match case) every alphabet constructor, fold over the whole\n\
+         inbox; or pin a deliberately undisciplined strawman in the\n\
+         baseline.";
+    };
+    {
+      id = "R10";
+      name = "communication-budget";
+      summary =
+        "protocol automaton with no finite static per-round send bound";
+      example =
+        "bad: a step that re-broadcasts inside an unclassifiable loop — \
+         fixed: iterate the inbox or Graph.neighbors so the bound is \
+         |inbox|·deg(v)";
+      details =
+        "ROADMAP item 4 asks for first-class communication accounting:\n\
+         every protocol's per-round message count should be bounded by\n\
+         a symbolic function of the topology (constant, deg(v)-linear,\n\
+         n-linear, |inbox|-linear, or |inbox|·deg(v)), concretizable\n\
+         per instance and cross-checked against Transport.stats.  The\n\
+         model extractor classifies each send-record construction by\n\
+         its iteration context and composes callee bounds by context\n\
+         multiplication (broadcast under an inbox iterator is\n\
+         |inbox|·deg(v)); recursion that produces sends, while/for\n\
+         loops around sends, and sends through unresolvable calls all\n\
+         degrade to `unbounded', and R10 fires on any automaton whose\n\
+         init or step bound is unbounded — such a protocol cannot\n\
+         participate in the lint-model.json budget that\n\
+         test/net/test_cost_bound.ml enforces dynamically.  Bounded\n\
+         protocols are not findings; their vectors are emitted in the\n\
+         model dump.  Fix: restructure the send loop around one of the\n\
+         classifiable iterations, or split the helper so the\n\
+         send-producing part is directly bounded.";
     };
   ]
 

@@ -30,21 +30,25 @@
       the companion missing-[.mli] check lives in {!Lint} (it is a
       filesystem property, not a typedtree one).
 
-    Two further rules are {e interprocedural} and live outside this
-    module — {b R6 domain-race} in {!Race} and {b R7 theorem4-taint} in
-    {!Taint}, both driven by the cross-module {!Callgraph} — but their
-    catalog entries ([explain R6], [explain R7]) are registered here. *)
+    Further rules are {e interprocedural} and live outside this module —
+    {b R6 domain-race} in {!Race}, {b R7 theorem4-taint} in {!Taint},
+    {b R8 lock-discipline} in {!Lock} (all driven by the cross-module
+    {!Callgraph}), and {b R9 automaton-discipline} / {b R10
+    communication-budget} in {!Model}, driven by the extracted protocol
+    models — but every catalog entry ([explain R9], …) is registered
+    here. *)
 
 type meta = {
   id : string;
   name : string;
   summary : string;  (** one line *)
+  example : string;  (** one-line bad/fixed sketch, for [rules]/[explain] *)
   details : string;  (** several paragraphs, for [explain] *)
 }
 
 val all : meta list
-(** The seven rules, in order (R6/R7 are implemented in {!Race} and
-    {!Taint}; their catalog entries live here). *)
+(** Every rule R1..R10, in order.  R6/R7 are implemented in {!Race} and
+    {!Taint}, R9/R10 in {!Model}; their catalog entries live here. *)
 
 val find : string -> meta option
 (** Look up by id, case-insensitively ([find "r2"] works). *)

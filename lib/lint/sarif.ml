@@ -247,8 +247,12 @@ let sarif_version = "2.1.0"
 let tool_name = "rmt-lint"
 let fingerprint_key = "rmtLint/v2"
 
+(* R9 joins the error tier: an automaton that breaks the round-machine
+   contract invalidates Theorem 4's safety argument outright.  R10 stays
+   a warning — an unbounded budget blocks the static cost model but not
+   safety. *)
 let level_of_rule id =
-  match id with "R6" | "R7" | "R8" -> "error" | _ -> "warning"
+  match id with "R6" | "R7" | "R8" | "R9" -> "error" | _ -> "warning"
 
 let rule_ids = List.map (fun (m : Rules.meta) -> m.id) Rules.all
 

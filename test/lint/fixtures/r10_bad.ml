@@ -1,0 +1,33 @@
+(* Unbounded communication budget — R10: init builds its sends through
+   a recursive helper, so no static per-round bound exists (the model
+   extractor cannot cap a send-producing cycle).  The handler itself is
+   total and the decision is disciplined: R10 must fire alone. *)
+
+type msg = Value of int
+
+type st = { mutable chosen : int option }
+
+type 'p send = { dst : int; payload : 'p }
+
+type ('s, 'm) automaton = {
+  init : int -> 's * 'm send list;
+  step :
+    int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  decision : 's -> int option;
+}
+
+let automaton () =
+  let rec spam v n =
+    if n = 0 then [] else { dst = v; payload = Value n } :: spam v (n - 1)
+  in
+  let init v = ({ chosen = None }, spam v 3) in
+  let step _v st ~round:_ ~inbox =
+    List.iter
+      (fun (_src, m) ->
+        match m with
+        | Value x -> if st.chosen = None then st.chosen <- Some x)
+      inbox;
+    (st, [])
+  in
+  let decision st = st.chosen in
+  { init; step; decision }

@@ -1,0 +1,34 @@
+(* Bounded twin of r10_bad — no findings: init sends a constant number
+   of messages and the step relays each delivery to its sender, so both
+   bounds classify (constant and |inbox|-linear respectively) and the
+   static budget concretizes. *)
+
+type msg = Value of int
+
+type st = { mutable chosen : int option }
+
+type 'p send = { dst : int; payload : 'p }
+
+type ('s, 'm) automaton = {
+  init : int -> 's * 'm send list;
+  step :
+    int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  decision : 's -> int option;
+}
+
+let automaton () =
+  let init v = ({ chosen = None }, [ { dst = v; payload = Value v } ]) in
+  let step _v st ~round:_ ~inbox =
+    let out =
+      List.concat_map
+        (fun (src, m) ->
+          match m with
+          | Value x ->
+            if st.chosen = None then st.chosen <- Some x;
+            [ { dst = src; payload = Value x } ])
+        inbox
+    in
+    (st, out)
+  in
+  let decision st = st.chosen in
+  { init; step; decision }

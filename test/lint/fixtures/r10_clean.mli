@@ -1,0 +1,14 @@
+type msg = Value of int
+
+type st = { mutable chosen : int option }
+
+type 'p send = { dst : int; payload : 'p }
+
+type ('s, 'm) automaton = {
+  init : int -> 's * 'm send list;
+  step :
+    int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  decision : 's -> int option;
+}
+
+val automaton : unit -> (st, msg) automaton

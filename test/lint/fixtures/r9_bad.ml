@@ -1,0 +1,31 @@
+(* Undisciplined automaton — R9 violations, all four at once: the step
+   consumes only the head of its inbox, assigns the decision field
+   without reading it first, resets it to None on the fallthrough path,
+   and the Probe constructor that init sends is matched by no step
+   case.  The decision field is deliberately NOT called `decided', so
+   the findings prove R9 keys on what the decision component reads, not
+   on a magic field name (that is R7's heuristic). *)
+
+type msg = Value of int | Probe of int
+
+type st = { mutable chosen : int option }
+
+type 'p send = { dst : int; payload : 'p }
+
+type ('s, 'm) automaton = {
+  init : int -> 's * 'm send list;
+  step :
+    int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  decision : 's -> int option;
+}
+
+let automaton () =
+  let init v = ({ chosen = None }, [ { dst = v; payload = Probe v } ]) in
+  let step _v st ~round:_ ~inbox =
+    (match inbox with
+     | (_src, Value x) :: _ -> st.chosen <- Some x
+     | _ -> st.chosen <- None);
+    (st, [])
+  in
+  let decision st = st.chosen in
+  { init; step; decision }

@@ -1,0 +1,32 @@
+(* Disciplined twin of r9_bad — no findings: the step folds over the
+   whole inbox, the decision write is guarded by a read of the current
+   value (write-once), nothing ever assigns None back, and every
+   constructor init can send has a step case (Probe is matched and
+   explicitly ignored, which counts: the handler is total). *)
+
+type msg = Value of int | Probe of int
+
+type st = { mutable chosen : int option }
+
+type 'p send = { dst : int; payload : 'p }
+
+type ('s, 'm) automaton = {
+  init : int -> 's * 'm send list;
+  step :
+    int -> 's -> round:int -> inbox:(int * 'm) list -> 's * 'm send list;
+  decision : 's -> int option;
+}
+
+let automaton () =
+  let init v = ({ chosen = None }, [ { dst = v; payload = Probe v } ]) in
+  let step _v st ~round:_ ~inbox =
+    List.iter
+      (fun (_src, m) ->
+        match m with
+        | Value x -> if st.chosen = None then st.chosen <- Some x
+        | Probe _ -> ())
+      inbox;
+    (st, [])
+  in
+  let decision st = st.chosen in
+  { init; step; decision }

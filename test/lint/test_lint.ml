@@ -27,8 +27,8 @@ let () =
     | Ok us -> us
     | Error e -> fail "fixture scan failed: %s" e
   in
-  if List.length units <> 21 then
-    fail "expected 21 fixture units, scanned %d — fixture library changed?"
+  if List.length units <> 25 then
+    fail "expected 25 fixture units, scanned %d — fixture library changed?"
       (List.length units);
   let findings = Rmt_lint.Lint.analyze units in
   let actual =
@@ -58,7 +58,7 @@ let () =
     (fun (f : Rmt_lint.Finding.t) ->
       let base = Filename.basename f.file in
       if
-        (String.length base >= 8 && String.sub base 2 6 = "_clean")
+        Filename.check_suffix base "_clean.ml"
         || Filename.check_suffix base "_fixed.ml"
       then fail "clean fixture %s produced a finding: %s" base f.message)
     findings;

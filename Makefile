@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json bench-sim-json bench-net-json fuzz fuzz-smoke sim-smoke service-smoke bench-check outputs examples clean
+.PHONY: all build test lint lint-clean lint-baseline bench bench-json bench-lint-json bench-sim-json bench-net-json bench-certified-json fuzz fuzz-smoke sim-smoke service-smoke bench-check outputs examples clean
 
 all: build
 
@@ -50,6 +50,11 @@ bench-sim-json:
 bench-net-json:
 	dune exec bench/main.exe -- net --json
 
+# Regenerate the checked-in certification overhead + frontier record
+# (BENCH_certified.json).
+bench-certified-json:
+	dune exec bench/main.exe -- certified --json
+
 # Seeded fuzzing campaigns over instances/ (table + BENCH_attack.json).
 fuzz:
 	dune exec bench/main.exe -- attack --json
@@ -66,12 +71,40 @@ fuzz-smoke:
 # it: every protocol under seeded timely schedules (where Theorem 4's
 # safety is scheduler-independent), shrunk reproducer pair on violation.
 # 4 instances x 3 protocols x 200 schedules >= 500 trials overall.
+#
+# Certified lane: the certified family must stay safe on lossy/async
+# schedules *inside* its declared envelope (bound 3, drops 2 =
+# Envelope.default).  3 instances x 2 cert protocols x 400 schedules =
+# 2400 in-envelope trials; a violation writes a shrunk reproducer pair
+# and fails the lane.
+#
+# Boundary lane: outside the envelope the same protocol must still be
+# violable — otherwise the in-envelope claim is vacuous.  The seeded
+# out-of-envelope sweep (delay 6, drops 12, aggressive lateness/loss)
+# is required to find a violation, shrink it, and leave the reproducer
+# pair behind; the lane fails if the sweep exits clean.
 sim-smoke:
 	for inst in instances/*.rmt; do \
 	  dune exec bin/rmt_cli.exe -- sim --instance $$inst \
 	    --seed 2016 --schedules 200 --budget 15 --shrink \
 	    --out sim_reproducer_$$(basename $$inst) || exit 1; \
 	done
+	for inst in instances/figure1_basic.rmt instances/path4_unsolvable.rmt \
+	    test/protocols/fixtures/boundary.rmt; do \
+	  dune exec bin/rmt_cli.exe -- sim --instance $$inst \
+	    --protocol certified --seed 2016 --schedules 400 \
+	    --bound 3 --drops 2 --shrink \
+	    --out sim_reproducer_cert_$$(basename $$inst) || exit 1; \
+	done
+	if dune exec bin/rmt_cli.exe -- sim \
+	    --instance test/protocols/fixtures/boundary.rmt \
+	    --protocol cert-pka --seed 19 --schedules 60 \
+	    --bound 6 --drops 12 --late 0.6 --loss 0.4 --shrink \
+	    --out sim_reproducer_boundary.rmt; then \
+	  echo "sim-smoke: out-of-envelope sweep found no violation"; exit 1; \
+	else \
+	  test -f sim_reproducer_boundary.rmt && test -f sim_reproducer_boundary.sched; \
+	fi
 
 # Replay the committed delta/query stream through the solvability
 # service and diff against the golden transcript, as the CI
@@ -104,6 +137,10 @@ bench-check:
 	dune exec bench/main.exe -- net --json
 	dune exec bench/check_regression.exe -- /tmp/rmt_bench_net_baseline.json \
 	  BENCH_net.json --prefix-threshold=rmt/net/:2.0
+	cp BENCH_certified.json /tmp/rmt_bench_certified_baseline.json
+	dune exec bench/main.exe -- certified --json
+	dune exec bench/check_regression.exe -- /tmp/rmt_bench_certified_baseline.json \
+	  BENCH_certified.json --prefix-threshold=rmt/cert/:2.0
 
 examples:
 	dune exec examples/quickstart.exe

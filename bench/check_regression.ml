@@ -34,7 +34,7 @@ let tracked name =
     (fun p -> has_prefix p name)
     [
       "rmt/join/"; "rmt/reduce/"; "rmt/lint/"; "rmt/sim/"; "rmt/hc/";
-      "rmt/delta/"; "rmt/net/";
+      "rmt/delta/"; "rmt/net/"; "rmt/cert/";
     ]
 
 let min_r2 = 0.5

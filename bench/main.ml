@@ -1784,6 +1784,118 @@ let lint () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* CERTIFIED — certification overhead and the solvability frontier     *)
+(* ------------------------------------------------------------------ *)
+
+(* json fragments filled in by [certified] and flushed by the driver *)
+let certified_json_sections : string list ref = ref []
+
+let boundary_instance_path = "test/protocols/fixtures/boundary.rmt"
+
+let certified () =
+  section
+    "CERTIFIED — echo/vote certification: overhead vs raw protocols, \
+     frontier sweep throughput";
+  let name, inst = List.hd (attack_instances ()) in
+  Printf.printf "  instance: %s\n" name;
+  let open Bechamel in
+  let program = Rmt_attack.Program.make ~seed:attack_seed [] in
+  (* cert/<backend>/<p> vs cert/raw/<p>: the certification tier's
+     redundant flooding (slots copies, echo votes, tick keep-alive)
+     against the unwrapped protocol on the same instance *)
+  let pairs =
+    Campaign.[ ("pka", Pka, Cert_pka); ("ppa", Ppa, Cert_ppa) ]
+  in
+  let tests =
+    List.concat_map
+      (fun (pname, raw, cert) ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "cert/raw/%s" pname)
+            (Staged.stage (fun () ->
+                 Campaign.execute raw inst ~x_dealer:5 program));
+          Test.make
+            ~name:(Printf.sprintf "cert/engine/%s" pname)
+            (Staged.stage (fun () ->
+                 Campaign.execute cert inst ~x_dealer:5 program));
+          Test.make
+            ~name:(Printf.sprintf "cert/sync/%s" pname)
+            (Staged.stage (fun () ->
+                 Rmt_sim.Sim_exec.execute ~policy:Rmt_sim.Policy.sync cert
+                   inst ~x_dealer:5 program));
+        ])
+      pairs
+  in
+  let rows = run_bechamel ~quota:2.0 tests in
+  print_bechamel_rows rows;
+  (* the solvability-frontier experiment: one in-envelope-to-beyond
+     sweep of scheduler strengths, fanned over Parsweep *)
+  let frontier_inst =
+    match Codec.of_file boundary_instance_path with
+    | Ok i -> i
+    | Error e ->
+      Printf.printf "  (no frontier: %s: %s)\n" boundary_instance_path e;
+      inst
+  in
+  let schedules = 60 in
+  let rows_f, secs =
+    Timing.time_it (fun () ->
+        Rmt_sim.Frontier.run ~domains:(sweep_domains ()) ~seed:19 ~schedules
+          ~x_dealer:7 ~x_fake:8 ~envelope:Rmt_protocols.Envelope.default
+          Campaign.Cert_pka frontier_inst Rmt_sim.Frontier.default_grid)
+  in
+  let total = schedules * List.length rows_f in
+  let inside_viol, outside_viol =
+    List.fold_left
+      (fun (i, o) (r : Rmt_sim.Frontier.row) ->
+        if r.Rmt_sim.Frontier.in_envelope then
+          (i + r.Rmt_sim.Frontier.violated, o)
+        else (i, o + r.Rmt_sim.Frontier.violated))
+      (0, 0) rows_f
+  in
+  Printf.printf "  frontier (%d schedules/point, %.2fs, %.0f/s):\n%s" schedules
+    secs
+    (float_of_int total /. secs)
+    (Rmt_sim.Frontier.to_table rows_f);
+  let micro_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (bname, ns, r2) ->
+           Printf.sprintf "{\"name\": %S, \"ns_per_run\": %.1f, \"r2\": %.4f}"
+             bname ns r2)
+         rows)
+  in
+  let frontier_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (r : Rmt_sim.Frontier.row) ->
+           Printf.sprintf
+             "{\"delay\": %d, \"drops\": %d, \"in_envelope\": %b, \
+              \"delivered\": %d, \"silenced\": %d, \"violated\": %d, \
+              \"liveness_lost\": %d}"
+             r.Rmt_sim.Frontier.point.Rmt_sim.Frontier.delay_bound
+             r.Rmt_sim.Frontier.point.Rmt_sim.Frontier.drop_budget
+             r.Rmt_sim.Frontier.in_envelope r.Rmt_sim.Frontier.delivered
+             r.Rmt_sim.Frontier.silenced r.Rmt_sim.Frontier.violated
+             r.Rmt_sim.Frontier.liveness_lost)
+         rows_f)
+  in
+  certified_json_sections :=
+    [
+      Printf.sprintf "\"instance\": %S" name;
+      Printf.sprintf "\"envelope\": %S"
+        (Rmt_protocols.Envelope.to_string Rmt_protocols.Envelope.default);
+      Printf.sprintf "\"micro\": [\n    %s\n  ]" micro_json;
+      Printf.sprintf
+        "\"frontier\": {\"schedules_per_point\": %d, \"seconds\": %.3f, \
+         \"per_second\": %.1f, \"inside_violations\": %d, \
+         \"outside_violations\": %d, \"points\": [\n    %s\n  ]}"
+        schedules secs
+        (float_of_int total /. secs)
+        inside_viol outside_viol frontier_json;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1793,7 +1905,7 @@ let experiments =
     ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("ablations", ablations); ("bechamel", bechamel);
     ("core", core); ("attack", attack); ("sim", sim); ("net", net);
-    ("lint", lint);
+    ("lint", lint); ("certified", certified);
   ]
 
 let write_core_json () =
@@ -1829,6 +1941,14 @@ let write_net_json () =
     "{\n  \"schema\": \"rmt-bench-net/1\",\n  \"domains_available\": %d,\n  %s\n}\n"
     (Mcast.recommended_domains ())
     (String.concat ",\n  " !net_json_sections);
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
+let write_certified_json () =
+  let path = "BENCH_certified.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rmt-bench-certified/1\",\n  %s\n}\n"
+    (String.concat ",\n  " !certified_json_sections);
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
@@ -1883,4 +2003,5 @@ let () =
   if !json_mode && !attack_json_sections <> [] then write_attack_json ();
   if !json_mode && !sim_json_sections <> [] then write_sim_json ();
   if !json_mode && !net_json_sections <> [] then write_net_json ();
-  if !json_mode && !lint_json_sections <> [] then write_lint_json ()
+  if !json_mode && !lint_json_sections <> [] then write_lint_json ();
+  if !json_mode && !certified_json_sections <> [] then write_certified_json ()

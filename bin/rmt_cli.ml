@@ -327,6 +327,9 @@ let fuzz_protocols = function
   | `Pka -> [ Rmt_attack.Campaign.Pka ]
   | `Ppa -> [ Rmt_attack.Campaign.Ppa ]
   | `Zcpa -> [ Rmt_attack.Campaign.Zcpa ]
+  | `Cert_pka -> [ Rmt_attack.Campaign.Cert_pka ]
+  | `Cert_ppa -> [ Rmt_attack.Campaign.Cert_ppa ]
+  | `Certified -> Rmt_attack.Campaign.[ Cert_pka; Cert_ppa ]
   | `All -> Rmt_attack.Campaign.[ Pka; Ppa; Zcpa ]
 
 (* Shrink the first safety violation to a minimal reproducer and write it
@@ -429,6 +432,9 @@ let sim_protocols = function
   | `Ppa -> [ Rmt_attack.Campaign.Ppa ]
   | `Zcpa -> [ Rmt_attack.Campaign.Zcpa ]
   | `Strawman -> [ Rmt_attack.Campaign.Strawman ]
+  | `Cert_pka -> [ Rmt_attack.Campaign.Cert_pka ]
+  | `Cert_ppa -> [ Rmt_attack.Campaign.Cert_ppa ]
+  | `Certified -> Rmt_attack.Campaign.[ Cert_pka; Cert_ppa ]
   | `All -> Rmt_attack.Campaign.[ Pka; Ppa; Zcpa ]
 
 (* Unlike the fuzz reproducer, the instance and program are kept as found:
@@ -453,7 +459,7 @@ let write_sim_reproducer inst protocol ~x_dealer ~shrink
     Printf.printf "reproducer pair written: %s + %s\n" out sched_path
 
 let sim file seed topology adversary knowledge dealer receiver value protocol
-    schedules bound drops budget out trace shrink replay_file =
+    schedules bound drops late loss budget out trace shrink replay_file =
   let open Rmt_attack in
   match replay_file with
   | Some path ->
@@ -501,7 +507,15 @@ let sim file seed topology adversary knowledge dealer receiver value protocol
            else if bound > 1 then Rmt_sim.Policy.lossless_params
            else Rmt_sim.Policy.timely_params
          in
-         { base with Rmt_sim.Policy.delay_bound = bound }
+         let base = { base with Rmt_sim.Policy.delay_bound = bound } in
+         let base =
+           match late with
+           | Some p -> { base with Rmt_sim.Policy.p_late = p }
+           | None -> base
+         in
+         match loss with
+         | Some p -> { base with Rmt_sim.Policy.p_drop = p }
+         | None -> base
        in
        let violated = ref false in
        List.iter
@@ -629,9 +643,12 @@ let fuzz_cmd =
     Arg.(
       value
       & opt
-          (enum [ ("pka", `Pka); ("ppa", `Ppa); ("zcpa", `Zcpa); ("all", `All) ])
+          (enum
+             [ ("pka", `Pka); ("ppa", `Ppa); ("zcpa", `Zcpa);
+               ("cert-pka", `Cert_pka); ("cert-ppa", `Cert_ppa);
+               ("certified", `Certified); ("all", `All) ])
           `All
-      & info [ "protocol" ] ~docv:"pka|ppa|zcpa|all")
+      & info [ "protocol" ] ~docv:"pka|ppa|zcpa|cert-pka|cert-ppa|certified|all")
   in
   let attacks_t =
     Arg.(
@@ -676,9 +693,12 @@ let sim_cmd =
       & opt
           (enum
              [ ("pka", `Pka); ("ppa", `Ppa); ("zcpa", `Zcpa);
-               ("strawman", `Strawman); ("all", `All) ])
+               ("strawman", `Strawman); ("cert-pka", `Cert_pka);
+               ("cert-ppa", `Cert_ppa); ("certified", `Certified);
+               ("all", `All) ])
           `All
-      & info [ "protocol" ] ~docv:"pka|ppa|zcpa|strawman|all")
+      & info [ "protocol" ]
+          ~docv:"pka|ppa|zcpa|strawman|cert-pka|cert-ppa|certified|all")
   in
   let schedules_t =
     Arg.(
@@ -705,6 +725,28 @@ let sim_cmd =
              channels reliable, matching the paper's model; positive \
              values explore lossy schedules, where RMT-PKA safety is no \
              longer guaranteed.")
+  in
+  let late_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "late" ] ~docv:"P"
+          ~doc:
+            "Override the per-message late-delivery probability (effective \
+             only with $(b,--bound) > 1).  Aggressive values push multi-hop \
+             evidence past a certified protocol's commit round — the \
+             boundary lanes drive the out-of-envelope sweeps with this.")
+  in
+  let loss_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"P"
+          ~doc:
+            "Override the per-message drop probability (effective only with \
+             $(b,--drops) > 0; the budget still caps total losses).  High \
+             values concentrate the budget on the earliest sends, where a \
+             drop suppresses a whole flood subtree.")
   in
   let budget_t =
     Arg.(
@@ -746,8 +788,8 @@ let sim_cmd =
       ret
         (const sim $ file_t $ seed_t $ topology_t $ adversary_t $ knowledge_t
          $ dealer_t $ receiver_t $ value_t $ protocol_t $ schedules_t
-         $ bound_t $ drops_t $ budget_t $ out_t $ trace_t $ shrink_t
-         $ replay_t))
+         $ bound_t $ drops_t $ late_t $ loss_t $ budget_t $ out_t $ trace_t
+         $ shrink_t $ replay_t))
 
 let save file seed topology adversary knowledge dealer receiver out =
   match

@@ -4,20 +4,27 @@ open Rmt_net
 open Rmt_core
 open Rmt_workloads
 
-type protocol = Pka | Ppa | Zcpa | Strawman
+type protocol = Pka | Ppa | Zcpa | Strawman | Cert_pka | Cert_ppa
 
 let protocol_to_string = function
   | Pka -> "pka"
   | Ppa -> "ppa"
   | Zcpa -> "zcpa"
   | Strawman -> "strawman"
+  | Cert_pka -> "cert-pka"
+  | Cert_ppa -> "cert-ppa"
 
 let protocol_of_string = function
   | "pka" -> Ok Pka
   | "ppa" -> Ok Ppa
   | "zcpa" -> Ok Zcpa
   | "strawman" -> Ok Strawman
-  | s -> Error (Printf.sprintf "unknown protocol %S (pka|ppa|zcpa|strawman)" s)
+  | "cert-pka" -> Ok Cert_pka
+  | "cert-ppa" -> Ok Cert_ppa
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown protocol %S (pka|ppa|zcpa|strawman|cert-pka|cert-ppa)" s)
 
 type verdict =
   | Delivered
@@ -64,6 +71,16 @@ let solvability protocol (inst : Instance.t) =
     (* the strawman decides wherever PKA could: classify its (expected)
        wrong outputs as violations exactly on PKA-solvable instances *)
     Solvability.partial_knowledge inst
+  | Cert_pka ->
+    (* certification gates the inner decision; within the envelope the
+       wrapped protocol's own feasibility condition applies unchanged *)
+    Solvability.partial_knowledge inst
+  | Cert_ppa ->
+    if
+      Rmt_protocols.Ppa.solvable inst.graph ~structure:inst.structure
+        ~dealer:inst.dealer ~receiver:inst.receiver
+    then Solvability.Solvable
+    else Solvability.Unsolvable
 
 let classify ~solvability ~admissible r =
   match r.verdict with
@@ -98,9 +115,32 @@ let pp_pka_msg (m : Rmt_pka.msg) =
 let pp_ppa_msg (m : Rmt_protocols.Ppa.msg) =
   Printf.sprintf "%d%s" m.Flood.payload (trail_summary m.Flood.trail)
 
-let fst3 (a, _, _) = a
-let snd3 (_, b, _) = b
-let trd3 (_, _, c) = c
+let pp_cert_pka_msg (m : Rmt_protocols.Certified.pka_msg) =
+  match m.Flood.payload with
+  | Rmt_protocols.Certified.Load p ->
+    "c" ^ pp_pka_msg { Flood.payload = p; trail = m.Flood.trail }
+  | Rmt_protocols.Certified.Echo u ->
+    Printf.sprintf "E(%d)%s" u (trail_summary m.Flood.trail)
+  | Rmt_protocols.Certified.Tick -> "tick"
+
+let pp_cert_ppa_msg (m : Rmt_protocols.Certified.ppa_msg) =
+  match m.Flood.payload with
+  | Rmt_protocols.Certified.Load x ->
+    Printf.sprintf "c%d%s" x (trail_summary m.Flood.trail)
+  | Rmt_protocols.Certified.Echo u ->
+    Printf.sprintf "E(%d)%s" u (trail_summary m.Flood.trail)
+  | Rmt_protocols.Certified.Tick -> "tick"
+
+(* One delivery hook per message type; [execute_gen] picks the arm's. *)
+type deliver_hooks = {
+  h_pka : round:int -> src:int -> dst:int -> Rmt_pka.msg -> unit;
+  h_ppa : round:int -> src:int -> dst:int -> Rmt_protocols.Ppa.msg -> unit;
+  h_int : round:int -> src:int -> dst:int -> int -> unit;
+  h_cert_pka :
+    round:int -> src:int -> dst:int -> Rmt_protocols.Certified.pka_msg -> unit;
+  h_cert_ppa :
+    round:int -> src:int -> dst:int -> Rmt_protocols.Certified.ppa_msg -> unit;
+}
 
 (* An execution backend with [Engine.run]'s interface.  The polymorphic
    field lets one runner value serve every protocol's message type, so
@@ -138,7 +178,8 @@ let execute_gen ?max_messages ?(runner = engine_runner) ?on_deliver protocol
     let adversary = Strategy_gen.compile_pka p inst ~x_dealer in
     let auto = Rmt_pka.automaton inst ~x_dealer in
     let outcome =
-      runner.run ?max_messages ?on_deliver:(Option.map fst3 on_deliver)
+      runner.run ?max_messages
+        ?on_deliver:(Option.map (fun h -> h.h_pka) on_deliver)
         ~size_of:Rmt_pka.msg_size
         ~stop_when:(fun dec -> dec inst.receiver <> None)
         ~graph:inst.graph ~adversary auto
@@ -163,7 +204,8 @@ let execute_gen ?max_messages ?(runner = engine_runner) ?on_deliver protocol
         ~dealer:inst.dealer ~receiver:inst.receiver ~x_dealer
     in
     let outcome =
-      runner.run ?max_messages ?on_deliver:(Option.map snd3 on_deliver)
+      runner.run ?max_messages
+        ?on_deliver:(Option.map (fun h -> h.h_ppa) on_deliver)
         ~size_of:(fun (m : Rmt_protocols.Ppa.msg) ->
           1 + List.length m.Flood.trail)
         ~stop_when:(fun dec -> dec inst.receiver <> None)
@@ -185,7 +227,8 @@ let execute_gen ?max_messages ?(runner = engine_runner) ?on_deliver protocol
         inst ~x_dealer
     in
     let outcome =
-      runner.run ?max_messages ?on_deliver:(Option.map trd3 on_deliver)
+      runner.run ?max_messages
+        ?on_deliver:(Option.map (fun h -> h.h_int) on_deliver)
         ~graph:inst.graph ~adversary auto
     in
     let decided = Engine.decision_of outcome inst.receiver in
@@ -203,7 +246,52 @@ let execute_gen ?max_messages ?(runner = engine_runner) ?on_deliver protocol
         ~receiver:inst.receiver ~x_dealer
     in
     let outcome =
-      runner.run ?max_messages ?on_deliver:(Option.map trd3 on_deliver)
+      runner.run ?max_messages
+        ?on_deliver:(Option.map (fun h -> h.h_int) on_deliver)
+        ~stop_when:(fun dec -> dec inst.receiver <> None)
+        ~graph:inst.graph ~adversary auto
+    in
+    let decided = Engine.decision_of outcome inst.receiver in
+    {
+      program = p;
+      verdict = verdict_of ~x_dealer decided;
+      rounds = outcome.stats.rounds;
+      messages = outcome.stats.messages;
+      truncated = outcome.stats.truncated;
+    }
+  | Cert_pka ->
+    let adversary = Strategy_gen.compile_cert_pka p inst ~x_dealer in
+    let auto = Rmt_protocols.Certified.pka inst ~x_dealer in
+    let outcome =
+      runner.run ?max_messages
+        ?on_deliver:(Option.map (fun h -> h.h_cert_pka) on_deliver)
+        ~size_of:Rmt_protocols.Certified.pka_msg_size
+        ~stop_when:(fun dec -> dec inst.receiver <> None)
+        ~graph:inst.graph ~adversary auto
+    in
+    let decided = Engine.decision_of outcome inst.receiver in
+    let recv_truncated =
+      match List.assoc_opt inst.receiver outcome.states with
+      | Some st -> Rmt_protocols.Certified.truncated st
+      | None -> false
+    in
+    {
+      program = p;
+      verdict = verdict_of ~x_dealer decided;
+      rounds = outcome.stats.rounds;
+      messages = outcome.stats.messages;
+      truncated = outcome.stats.truncated || recv_truncated;
+    }
+  | Cert_ppa ->
+    let adversary = Strategy_gen.compile_cert_ppa p inst ~x_dealer in
+    let auto =
+      Rmt_protocols.Certified.ppa inst.graph ~structure:inst.structure
+        ~dealer:inst.dealer ~receiver:inst.receiver ~x_dealer
+    in
+    let outcome =
+      runner.run ?max_messages
+        ?on_deliver:(Option.map (fun h -> h.h_cert_ppa) on_deliver)
+        ~size_of:Rmt_protocols.Certified.ppa_msg_size
         ~stop_when:(fun dec -> dec inst.receiver <> None)
         ~graph:inst.graph ~adversary auto
     in
@@ -225,9 +313,22 @@ let execute_traced ?max_messages ?runner ?max_lines protocol inst ~x_dealer p
   let trace_ppa, hook_ppa = Trace.create ~pp_payload:pp_ppa_msg () in
   (* ints serve both Z-CPA and the strawman: same message type *)
   let trace_int, hook_int = Trace.create ~pp_payload:string_of_int () in
+  let trace_cert_pka, hook_cert_pka =
+    Trace.create ~pp_payload:pp_cert_pka_msg ()
+  in
+  let trace_cert_ppa, hook_cert_ppa =
+    Trace.create ~pp_payload:pp_cert_ppa_msg ()
+  in
   let r =
     execute_gen ?max_messages ?runner
-      ~on_deliver:(hook_pka, hook_ppa, hook_int)
+      ~on_deliver:
+        {
+          h_pka = hook_pka;
+          h_ppa = hook_ppa;
+          h_int = hook_int;
+          h_cert_pka = hook_cert_pka;
+          h_cert_ppa = hook_cert_ppa;
+        }
       protocol inst ~x_dealer p
   in
   let trace =
@@ -235,6 +336,8 @@ let execute_traced ?max_messages ?runner ?max_lines protocol inst ~x_dealer p
     | Pka -> trace_pka
     | Ppa -> trace_ppa
     | Zcpa | Strawman -> trace_int
+    | Cert_pka -> trace_cert_pka
+    | Cert_ppa -> trace_cert_ppa
   in
   (r, Trace.render ?max_lines trace)
 

@@ -34,6 +34,12 @@ type protocol =
           send-ordered inboxes, violable by any scheduler that reorders
           one channel.  The simulation campaign's control protocol; not
           part of the default fuzzing sweeps. *)
+  | Cert_pka
+      (** {!Rmt_protocols.Certified.pka} under the default
+          {!Rmt_protocols.Envelope}: RMT-PKA behind the quorum/commit
+          certification gate, safe over lossy/asynchronous schedules
+          within the envelope. *)
+  | Cert_ppa  (** {!Rmt_protocols.Certified.ppa}, likewise. *)
 
 val protocol_to_string : protocol -> string
 val protocol_of_string : string -> (protocol, string) result

@@ -5,7 +5,8 @@
     metadata lines:
 
     {v
-    protocol pka             # pka | ppa | zcpa
+    protocol pka             # pka | ppa | zcpa | strawman
+                             #     | cert-pka | cert-ppa
     value 7                  # the dealer's input
     expect silenced          # recorded verdict: delivered | silenced
                              #                 | violated <x>

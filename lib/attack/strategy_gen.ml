@@ -116,7 +116,7 @@ let pka_random_trail rng g v =
   in
   List.init (1 + Prng.int rng 4) (fun _ -> random_node ()) @ [ v ]
 
-let compile_pka (p : Program.t) (inst : Instance.t) ~x_dealer =
+let pka_inject (inst : Instance.t) =
   let g = inst.graph in
   let inject v rng ~round i sends =
     match i with
@@ -216,7 +216,10 @@ let compile_pka (p : Program.t) (inst : Instance.t) ~x_dealer =
       end
       else sends
   in
-  compile_skeleton p (Rmt_pka.automaton inst ~x_dealer) ~inject
+  inject
+
+let compile_pka (p : Program.t) (inst : Instance.t) ~x_dealer =
+  compile_skeleton p (Rmt_pka.automaton inst ~x_dealer) ~inject:(pka_inject inst)
 
 (* ------------------------------------------------------------------ *)
 (* PPA                                                                 *)
@@ -226,7 +229,7 @@ let ppa_map_value f (s : Rmt_protocols.Ppa.msg Engine.send) =
   Engine.
     { s with payload = { s.payload with Flood.payload = f s.payload.Flood.payload } }
 
-let compile_ppa (p : Program.t) (inst : Instance.t) ~x_dealer =
+let ppa_inject (inst : Instance.t) =
   let g = inst.graph in
   let inject v rng ~round i sends =
     match i with
@@ -269,10 +272,13 @@ let compile_ppa (p : Program.t) (inst : Instance.t) ~x_dealer =
       end
       else sends
   in
+  inject
+
+let compile_ppa (p : Program.t) (inst : Instance.t) ~x_dealer =
   compile_skeleton p
-    (Rmt_protocols.Ppa.automaton g ~structure:inst.structure ~dealer:inst.dealer
-       ~receiver:inst.receiver ~x_dealer)
-    ~inject
+    (Rmt_protocols.Ppa.automaton inst.graph ~structure:inst.structure
+       ~dealer:inst.dealer ~receiver:inst.receiver ~x_dealer)
+    ~inject:(ppa_inject inst)
 
 (* ------------------------------------------------------------------ *)
 (* Z-CPA                                                               *)
@@ -312,6 +318,93 @@ let compile_strawman (p : Program.t) (inst : Instance.t) ~x_dealer =
     (Rmt_protocols.Naive.first_delivery inst.graph ~dealer:inst.dealer
        ~receiver:inst.receiver ~x_dealer)
     ~inject:(int_inject inst.graph)
+
+(* ------------------------------------------------------------------ *)
+(* Certified wrappers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Lifting an inner-protocol injection vocabulary through the certified
+   wrapper: payload forgeries ride inside [Load] (reusing the inner
+   protocol's inject compilation verbatim), and every round that forges
+   payloads additionally floods forged [Echo] votes on behalf of the
+   whole node set.  Corrupted nodes can always forge echoes — the
+   quorum certificate targets the message adversary, not them — and
+   outside the envelope (where drops silence honest evidence) this is
+   what carries a campaign past the quorum gate, keeping the boundary
+   lanes non-vacuous.  [Tick]s pass through untouched. *)
+
+let cert_map_load flip (s : 'p Rmt_protocols.Certified.msg Engine.send) =
+  Engine.
+    {
+      s with
+      payload =
+        {
+          s.payload with
+          Flood.payload =
+            (match s.payload.Flood.payload with
+             | Rmt_protocols.Certified.Load p ->
+               Rmt_protocols.Certified.Load (flip p)
+             | (Rmt_protocols.Certified.Echo _ | Rmt_protocols.Certified.Tick)
+               as b ->
+               b);
+        };
+    }
+
+let cert_echo_flood g v =
+  Nodeset.fold
+    (fun u acc ->
+      let trail = if u = v then [ v ] else [ u; v ] in
+      broadcast_msg g v Flood.{ payload = Rmt_protocols.Certified.Echo u; trail }
+      @ acc)
+    (Graph.nodes g) []
+
+let compile_cert g ~flip ~inner_inject ~automaton (p : Program.t) =
+  let inject v rng ~round i sends =
+    match i with
+    | Program.Flip_value x -> List.map (cert_map_load (flip x)) sends
+    | _ -> (
+      let added = inner_inject v rng ~round i [] in
+      match added with
+      | [] -> sends
+      | _ ->
+        let wrapped =
+          List.map
+            (fun (s : _ Engine.send) ->
+              Engine.
+                {
+                  dst = s.dst;
+                  payload =
+                    Flood.
+                      {
+                        payload =
+                          Rmt_protocols.Certified.Load s.payload.Flood.payload;
+                        trail = s.payload.Flood.trail;
+                      };
+                })
+            added
+        in
+        sends @ wrapped @ cert_echo_flood g v)
+  in
+  compile_skeleton p automaton ~inject
+
+let compile_cert_pka (p : Program.t) (inst : Instance.t) ~x_dealer =
+  compile_cert inst.graph
+    ~flip:(fun x pl ->
+      match pl with
+      | Rmt_pka.Value _ -> Rmt_pka.Value x
+      | Rmt_pka.Info r -> Rmt_pka.Info r)
+    ~inner_inject:(pka_inject inst)
+    ~automaton:(Rmt_protocols.Certified.pka inst ~x_dealer)
+    p
+
+let compile_cert_ppa (p : Program.t) (inst : Instance.t) ~x_dealer =
+  compile_cert inst.graph
+    ~flip:(fun x _ -> x)
+    ~inner_inject:(ppa_inject inst)
+    ~automaton:
+      (Rmt_protocols.Certified.ppa inst.graph ~structure:inst.structure
+         ~dealer:inst.dealer ~receiver:inst.receiver ~x_dealer)
+    p
 
 (* ------------------------------------------------------------------ *)
 (* Random program generation                                           *)

@@ -43,6 +43,25 @@ val compile_strawman :
     order-sensitive receiver the simulation campaign uses as its
     always-violable control. *)
 
+val compile_cert_pka :
+  Program.t ->
+  Instance.t ->
+  x_dealer:int ->
+  Rmt_protocols.Certified.pka_msg Engine.strategy
+(** The PKA vocabulary lifted through the certified wrapper: payload
+    forgeries ride inside [Load], and every forging round additionally
+    floods forged [Echo] votes for the whole node set (a corrupted node
+    may always forge echoes — the certificate targets the message
+    adversary), so out-of-envelope schedules can carry an attack past
+    the quorum gate. *)
+
+val compile_cert_ppa :
+  Program.t ->
+  Instance.t ->
+  x_dealer:int ->
+  Rmt_protocols.Certified.ppa_msg Engine.strategy
+(** The PPA vocabulary lifted the same way. *)
+
 val random :
   Prng.t -> Instance.t -> x_dealer:int -> x_fake:int -> Program.t
 (** One random attack program.  The corrupted set is drawn from the

@@ -134,6 +134,15 @@ let transparent_names =
 
 let dedup_guard_names = [ "Hashtbl.mem"; "List.mem"; "List.mem_assoc" ]
 
+(* Iterating over [Envelope.slots env] replicates each send by the
+   envelope's redundancy factor (drop_budget + 1).  The budget is
+   clamped to [Envelope.max_drop_budget] at construction, so a pinned
+   constant multiplier is sound — the same deliberate coarseness as
+   capping a [Nodes] sequence at n.  Only send {e literals} under the
+   iteration get the factor: a send-returning {e call} under it would
+   lose it, so such calls are demoted to Unknown (unbounded) instead. *)
+let slots_cap = 4
+
 let combine outer inner =
   match (outer, inner) with
   | Top, c | c, Top -> c
@@ -274,9 +283,16 @@ let rec collect_fn col ~name ~line expr =
     f ();
     ctx := old
   in
+  let mult = ref 1 in
+  let with_mult m f =
+    let old = !mult in
+    mult := !mult * m;
+    f ();
+    mult := old
+  in
   let add_send () =
     let cur = Option.value (Hashtbl.find_opt sends !ctx) ~default:0 in
-    Hashtbl.replace sends !ctx (cur + 1)
+    Hashtbl.replace sends !ctx (cur + !mult)
   in
   let add_once r v = if not (List.mem v !r) then r := v :: !r in
   let default = Tast_iterator.default_iterator in
@@ -413,9 +429,22 @@ let rec collect_fn col ~name ~line expr =
         match (List.nth_opt positional fn_idx, List.nth_opt positional seq_idx)
         with
         | Some farg, Some seq ->
+          let slots_iter =
+            match kind with
+            | Seq_unknown -> false
+            | Seq_classify -> (
+              match (peel_some seq).exp_desc with
+              | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+                Names.qualified_matches [ "Envelope.slots" ] (callee_name p)
+              | _ -> false)
+          in
           let seq_ctx =
             match kind with
             | Seq_unknown -> Unknown
+            | _ when slots_iter ->
+              (* constant-length redundancy slots: same context, each
+                 send literal under the body counts [slots_cap] times *)
+              Top
             | Seq_classify -> (
               let seq = peel_some seq in
               if is_ident_named inbox_name seq then (
@@ -449,7 +478,9 @@ let rec collect_fn col ~name ~line expr =
               | _ -> Option.iter (sub.Tast_iterator.expr sub) arg)
             args;
           with_ctx (combine !ctx seq_ctx) (fun () ->
-              sub.Tast_iterator.expr sub farg)
+              if slots_iter then
+                with_mult slots_cap (fun () -> sub.Tast_iterator.expr sub farg)
+              else sub.Tast_iterator.expr sub farg)
         | _ ->
           (* partial application of an iterator: treat as opaque *)
           if type_mentions_send e.exp_type then
@@ -469,12 +500,16 @@ let rec collect_fn col ~name ~line expr =
               | None -> false)
             args
         in
+        let returns_sends = type_mentions_send e.exp_type in
         calls :=
           {
-            cs_ctx = !ctx;
+            cs_ctx =
+              (* a send-returning call under a slots multiplier would
+                 lose the redundancy factor: refuse to bound it *)
+              (if returns_sends && !mult > 1 then Unknown else !ctx);
             cs_callee = name;
             cs_passes_inbox = passes_inbox;
-            cs_returns_sends = type_mentions_send e.exp_type;
+            cs_returns_sends = returns_sends;
           }
           :: !calls;
         walk_args sub args

@@ -1,0 +1,280 @@
+open Rmt_base
+open Rmt_graph
+open Rmt_adversary
+open Rmt_net
+
+type 'p body =
+  | Load of 'p
+  | Echo of int
+  | Tick
+
+type 'p msg = 'p body Flood.msg
+
+type 'p state = {
+  self : int;
+  seen : (string, unit) Hashtbl.t;
+  mutable cur_round : int;
+  mutable evidence : (int * 'p Flood.msg) list;
+      (** receiver-side: deduplicated [Load] arrivals, newest first *)
+  mutable echoes : Nodeset.t;
+  (* decision-side replay memo; versioned by the (monotone) evidence and
+     echo counts so the exponential inner search runs once per new fact,
+     not once per polled round *)
+  mutable memo_evidence : int;
+  mutable memo_echoes : int;
+  mutable memo_value : int option;
+  mutable memo_truncated : bool;
+}
+
+let quorum structure echoes =
+  let missing = Nodeset.diff (Structure.ground structure) echoes in
+  (* a complete echo set certifies trivially — Structure.mem would
+     reject the empty set under an empty adversary family *)
+  Nodeset.is_empty missing || Structure.mem missing structure
+
+let trail_sig trail = String.concat "," (List.map string_of_int trail)
+
+let dedup_key tag trail = tag ^ "#" ^ trail_sig trail
+
+let truncated st = st.memo_truncated
+
+let echo_set st = st.echoes
+
+let evidence_count st = List.length st.evidence
+
+let make ~graph ~receiver ~structure ~envelope ~inject_value ~inject_report
+    ~key ~inner ~inner_truncated =
+  let commit =
+    Envelope.commit_round envelope ~num_nodes:(Graph.num_nodes graph)
+  in
+  let body_tag body =
+    match body with
+    | Load p -> "L:" ^ key p
+    | Echo origin -> "E:" ^ string_of_int origin
+    | Tick -> "T"
+  in
+  (* Every flooded message goes out in [drop_budget + 1] same-round
+     copies per edge: a conforming scheduler cannot silence a hop.  The
+     [Envelope.slots] application stays inline in the fold — the lint
+     model recognizes it and caps the send multiplicity at the pinned
+     [max_drop_budget + 1]. *)
+  let emit v body acc =
+    Nodeset.fold
+      (fun u acc ->
+        List.fold_left
+          (fun acc () ->
+            { Engine.dst = u; payload = { Flood.payload = body; trail = [ v ] } }
+            :: acc)
+          acc
+          (Envelope.slots envelope))
+      (Graph.neighbors v graph)
+      acc
+  in
+  let relay v (m : 'p msg) acc =
+    Nodeset.fold
+      (fun u acc ->
+        List.fold_left
+          (fun acc () ->
+            {
+              Engine.dst = u;
+              payload =
+                { Flood.payload = m.Flood.payload; trail = m.Flood.trail @ [ v ] };
+            }
+            :: acc)
+          acc
+          (Envelope.slots envelope))
+      (Graph.neighbors v graph)
+      acc
+  in
+  let init v =
+    let st =
+      {
+        self = v;
+        seen = Hashtbl.create 64;
+        cur_round = 0;
+        evidence = [];
+        (* the receiver's own echo never transits the network *)
+        echoes = (if v = receiver then Nodeset.add v Nodeset.empty else Nodeset.empty);
+        memo_evidence = -1;
+        memo_echoes = -1;
+        memo_value = None;
+        memo_truncated = false;
+      }
+    in
+    let acc = [] in
+    let acc =
+      match inject_value v with None -> acc | Some p -> emit v (Load p) acc
+    in
+    let acc =
+      match inject_report v with None -> acc | Some p -> emit v (Load p) acc
+    in
+    let acc = emit v (Echo v) acc in
+    (* The receiver opens a tick ping-pong with one neighbor: per-round
+       backends quiesce when no messages are in flight, and the commit
+       round is far past the flooding horizon. *)
+    let acc =
+      if v = receiver then
+        match Nodeset.min_elt_opt (Graph.neighbors v graph) with
+        | Some u ->
+          { Engine.dst = u; payload = { Flood.payload = Tick; trail = [ v ] } }
+          :: acc
+        | None -> acc
+      else acc
+    in
+    (st, acc)
+  in
+  let step v st ~round ~inbox =
+    if round > st.cur_round then st.cur_round <- round;
+    let out =
+      List.fold_left
+        (fun acc (src, (m : 'p msg)) ->
+          match m.Flood.payload with
+          | Tick ->
+            (* 1:1 ping-pong; stops shortly after commit so runs drain.
+               Reply only along real edges (honest sends are
+               neighbor-restricted; a corrupted sender may not be one). *)
+            if round <= commit + 2 && Nodeset.mem src (Graph.neighbors v graph)
+            then
+              {
+                Engine.dst = src;
+                payload = { Flood.payload = Tick; trail = [ v ] };
+              }
+              :: acc
+            else acc
+          | Load _ | Echo _ ->
+            if not (Flood.trail_ok ~self:v ~src m.Flood.trail) then acc
+            else begin
+              let k = dedup_key (body_tag m.Flood.payload) m.Flood.trail in
+              if Hashtbl.mem st.seen k then acc
+              else begin
+                Hashtbl.replace st.seen k ();
+                (if v = receiver then
+                   match m.Flood.payload with
+                   | Load p ->
+                     st.evidence <-
+                       (src, { Flood.payload = p; trail = m.Flood.trail })
+                       :: st.evidence
+                   | Echo origin -> st.echoes <- Nodeset.add origin st.echoes
+                   | Tick -> ());
+                relay v m acc
+              end
+            end)
+        [] inbox
+    in
+    (st, out)
+  in
+  let decision st =
+    if st.self <> receiver || st.cur_round < commit then None
+    else if not (quorum structure st.echoes) then None
+    else begin
+      let ev = List.length st.evidence in
+      let ec = Nodeset.size st.echoes in
+      if
+        not
+          (Int.equal ev st.memo_evidence && Int.equal ec st.memo_echoes)
+      then begin
+        st.memo_evidence <- ev;
+        st.memo_echoes <- ec;
+        (* Synchronous replay: a message whose trail has length [k] is
+           delivered in round [k] of a synchronous execution, so feeding
+           the evidence grouped by trail length reconstructs — round for
+           round — the inner receiver's view of the synchronous run that
+           delivered exactly these messages.  The commit gate guarantees
+           every honest message is present, so the reconstruction is a
+           legal synchronous execution (the adversary simply withheld
+           whatever is absent) and the inner decision inherits Theorem
+           4's safety.  Stopping at the first decision also restores the
+           synchronous protocol's earliest-prefix decision discipline:
+           late forged conflicts cannot retroactively poison it. *)
+        let evidence = List.rev st.evidence in
+        let horizon =
+          List.fold_left
+            (fun acc (_, m) -> max acc (List.length m.Flood.trail))
+            0 evidence
+        in
+        let rec replay ist k =
+          if k > horizon || Option.is_some (inner.Engine.decision ist) then
+            ist
+          else begin
+            let inbox =
+              List.filter
+                (fun (_, m) -> List.length m.Flood.trail = k)
+                evidence
+            in
+            let ist, _ = inner.Engine.step st.self ist ~round:k ~inbox in
+            replay ist (k + 1)
+          end
+        in
+        let ist, _ = inner.Engine.init st.self in
+        let ist = replay ist 1 in
+        st.memo_value <- inner.Engine.decision ist;
+        st.memo_truncated <- inner_truncated ist
+      end;
+      st.memo_value
+    end
+  in
+  { Engine.init; step; decision }
+
+(* ---------- Certified RMT-PKA ---------- *)
+
+type pka_msg = Rmt_core.Rmt_pka.payload msg
+
+let structure_sig z =
+  Structure.maximal_sets z
+  |> List.map (fun s ->
+         String.concat "." (List.map string_of_int (Nodeset.elements s)))
+  |> String.concat "|"
+
+let pka_key (p : Rmt_core.Rmt_pka.payload) =
+  match p with
+  | Value x -> "V:" ^ string_of_int x
+  | Info r ->
+    Printf.sprintf "I:%d:%s:%s" r.Rmt_core.Rmt_pka.origin
+      (Graph.to_string r.gamma) (structure_sig r.zeta)
+
+let pka ?budgets ?(envelope = Envelope.default) (inst : Rmt_knowledge.Instance.t)
+    ~x_dealer =
+  let open Rmt_knowledge in
+  let inner = Rmt_core.Rmt_pka.automaton ?budgets inst ~x_dealer in
+  let report v =
+    {
+      Rmt_core.Rmt_pka.origin = v;
+      gamma = Instance.local_view inst v;
+      zeta = Instance.local_structure inst v;
+    }
+  in
+  make ~graph:inst.graph ~receiver:inst.receiver ~structure:inst.structure
+    ~envelope
+    ~inject_value:(fun v ->
+      if v = inst.dealer then Some (Rmt_core.Rmt_pka.Value x_dealer) else None)
+    ~inject_report:(fun v ->
+      if v = inst.receiver then None
+      else Some (Rmt_core.Rmt_pka.Info (report v)))
+    ~key:pka_key ~inner ~inner_truncated:Rmt_core.Rmt_pka.search_truncated
+
+let pka_msg_size (m : pka_msg) =
+  match m.Flood.payload with
+  | Load p ->
+    1 + Rmt_core.Rmt_pka.msg_size { Flood.payload = p; trail = m.Flood.trail }
+  | Echo _ | Tick -> 1 + List.length m.Flood.trail
+
+(* ---------- Certified PPA ---------- *)
+
+type ppa_msg = int msg
+
+let ppa ?(envelope = Envelope.default) g ~structure ~dealer ~receiver ~x_dealer
+    =
+  let inner = Ppa.automaton g ~structure ~dealer ~receiver ~x_dealer in
+  make ~graph:g ~receiver ~structure ~envelope
+    ~inject_value:(fun v -> if v = dealer then Some x_dealer else None)
+    ~inject_report:(fun _ -> None)
+    ~key:string_of_int ~inner
+    ~inner_truncated:(fun _ -> false)
+
+let ppa_msg_size (m : ppa_msg) = 1 + List.length m.Flood.trail
+
+let pp_body pp_payload ppf body =
+  match body with
+  | Load p -> Format.fprintf ppf "load(%a)" pp_payload p
+  | Echo origin -> Format.fprintf ppf "echo(%d)" origin
+  | Tick -> Format.fprintf ppf "tick"

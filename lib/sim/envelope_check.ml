@@ -1,0 +1,16 @@
+let conforms (env : Rmt_protocols.Envelope.t) sched =
+  let entries = Schedule.entries sched in
+  let drops =
+    List.length (List.filter (fun (_, d) -> d.Schedule.drop) entries)
+  in
+  drops <= env.Rmt_protocols.Envelope.drop_budget
+  && List.for_all
+       (fun (_, d) ->
+         d.Schedule.drop
+         || d.Schedule.delay <= env.Rmt_protocols.Envelope.delay_bound)
+       entries
+
+let params_within (p : Policy.params) (env : Rmt_protocols.Envelope.t) =
+  p.Policy.delay_bound <= env.Rmt_protocols.Envelope.delay_bound
+  && (p.Policy.p_drop <= 0.
+      || p.Policy.drop_budget <= env.Rmt_protocols.Envelope.drop_budget)

@@ -1,0 +1,22 @@
+(** Checking recorded schedules against a declared model envelope.
+
+    {!Rmt_protocols.Envelope} lives on the protocol side and stays free
+    of simulator dependencies; this module supplies the simulator-side
+    judgment: does a concrete [.sched] schedule stay inside the
+    (delay-bound, drop-budget) contract a run claims?
+
+    Duplicates are deliberately ignored: a [dup] adds a copy without
+    removing or delaying the first delivery, so it cannot break the
+    evidence-completeness argument the envelope backs (extra copies are
+    absorbed by the certified protocols' per-trail deduplication). *)
+
+val conforms : Rmt_protocols.Envelope.t -> Schedule.t -> bool
+(** True when the schedule's total drops stay within the drop budget
+    and every non-dropped delivery is delayed at most [delay_bound]
+    rounds.  The synchronous (empty) schedule conforms to every
+    envelope. *)
+
+val params_within : Policy.params -> Rmt_protocols.Envelope.t -> bool
+(** True when every schedule the random policy can draw from [params]
+    conforms: [delay_bound] within the envelope's, and (when [p_drop]
+    is positive) [drop_budget] within the envelope's. *)

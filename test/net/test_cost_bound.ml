@@ -59,6 +59,24 @@ let proto name =
             (fun (p : Rmt_lint.Model.protocol) -> p.Rmt_lint.Model.p_name)
             model.Rmt_lint.Model.protocols))
 
+(* The certified wrapper's extracted budget is load-bearing for R10:
+   the [Envelope.slots] iteration must be recognized and capped at the
+   pinned [slots_cap] multiplier, not degraded to unbounded.  Pin the
+   rendered bounds so an extractor or protocol change that shifts the
+   multiplicity class fails loudly here. *)
+let () =
+  let p = proto "Certified.make" in
+  let expect side got want =
+    if got <> want then
+      fail "Certified.make %s bound drifted: %S (want %S)" side got want
+  in
+  expect "init"
+    (Rmt_lint.Model.bound_to_string p.Rmt_lint.Model.p_init)
+    "1 + 12·deg(v)";
+  expect "step"
+    (Rmt_lint.Model.bound_to_string p.Rmt_lint.Model.p_step)
+    "|inbox| + 4·|inbox|·deg(v)"
+
 (* ------------------------------------------------------------------ *)
 (* One honest run, checked round by round                              *)
 (* ------------------------------------------------------------------ *)
@@ -163,7 +181,17 @@ let check_instance name (inst : Instance.t) =
   run_checked ~who:(who "Naive.neighbor_majority") ~graph
     ~p:(proto "Naive.make")
     ~size_of:(fun _ -> 1)
-    (Rmt_protocols.Naive.neighbor_majority graph ~dealer ~receiver ~x_dealer)
+    (Rmt_protocols.Naive.neighbor_majority graph ~dealer ~receiver ~x_dealer);
+  (* Certified wrapper: pka and ppa instantiations share the
+     Certified.make skeleton — one extracted model, the slots-capped
+     echo/vote budget (R10) checked dynamically on both. *)
+  run_checked ~who:(who "Certified.pka") ~graph ~p:(proto "Certified.make")
+    ~size_of:Rmt_protocols.Certified.pka_msg_size
+    (Rmt_protocols.Certified.pka inst ~x_dealer);
+  run_checked ~who:(who "Certified.ppa") ~graph ~p:(proto "Certified.make")
+    ~size_of:Rmt_protocols.Certified.ppa_msg_size
+    (Rmt_protocols.Certified.ppa graph ~structure:inst.Instance.structure
+       ~dealer ~receiver ~x_dealer)
 
 (* ------------------------------------------------------------------ *)
 (* Corpus: every checked-in instance plus 40 random solvable ones      *)

@@ -23,7 +23,7 @@ let repo_instances () =
          | Error e -> Alcotest.failf "cannot load %s: %s" f e)
 
 let all_protocols =
-  Campaign.[ Pka; Ppa; Zcpa; Strawman ]
+  Campaign.[ Pka; Ppa; Zcpa; Strawman; Cert_pka; Cert_ppa ]
 
 (* ------------------------------------------------------------------ *)
 (* Schedule serialization                                              *)
@@ -255,21 +255,27 @@ let safety_under_schedules protocol name =
       !ok)
 
 let test_sim_recorded_deterministic () =
+  (* record/replay round-trips for every protocol, certified included —
+     the recorded-verdict discipline must not be PKA-only *)
   let _, inst = List.hd (repo_instances ()) in
   let p = Strategy_gen.random (Prng.create 5) inst ~x_dealer:7 ~x_fake:8 in
-  let run () =
-    Sim_exec.execute_recorded ~params:Policy.default_params ~sched_seed:99
-      Campaign.Pka inst ~x_dealer:7 p
-  in
-  let r1, s1 = run () and r2, s2 = run () in
-  check "same report" true (r1 = r2);
-  check "same schedule" true (Schedule.equal s1 s2);
-  (* replaying the recorded schedule reproduces the recorded run *)
-  let r3 =
-    Sim_exec.execute ~policy:(Policy.of_schedule s1) Campaign.Pka inst
-      ~x_dealer:7 p
-  in
-  check "replay reproduces" true (r1 = r3)
+  List.iter
+    (fun protocol ->
+      let name = Campaign.protocol_to_string protocol in
+      let run () =
+        Sim_exec.execute_recorded ~params:Policy.default_params ~sched_seed:99
+          protocol inst ~x_dealer:7 p
+      in
+      let r1, s1 = run () and r2, s2 = run () in
+      check (name ^ ": same report") true (r1 = r2);
+      check (name ^ ": same schedule") true (Schedule.equal s1 s2);
+      (* replaying the recorded schedule reproduces the recorded run *)
+      let r3 =
+        Sim_exec.execute ~policy:(Policy.of_schedule s1) protocol inst
+          ~x_dealer:7 p
+      in
+      check (name ^ ": replay reproduces") true (r1 = r3))
+    all_protocols
 
 (* ------------------------------------------------------------------ *)
 (* Schedule shrinking                                                  *)
@@ -452,14 +458,21 @@ let () =
           Alcotest.test_case "pinned over instances/" `Quick
             test_sync_equivalence_pinned;
           qt (sync_equivalence_random Campaign.Pka "RMT-PKA");
+          qt (sync_equivalence_random Campaign.Ppa "PPA");
           qt (sync_equivalence_random Campaign.Zcpa "Z-CPA");
           qt (sync_equivalence_random Campaign.Strawman "strawman");
+          qt (sync_equivalence_random Campaign.Cert_pka "cert-pka");
+          qt (sync_equivalence_random Campaign.Cert_ppa "cert-ppa");
         ] );
       ( "safety",
         [
           qt (safety_under_schedules Campaign.Pka "RMT-PKA");
           qt (safety_under_schedules Campaign.Ppa "PPA");
           qt (safety_under_schedules Campaign.Zcpa "Z-CPA");
+          (* strawman is deliberately absent: timely schedules permute
+             inboxes, which is exactly what breaks it (the control). *)
+          qt (safety_under_schedules Campaign.Cert_pka "cert-pka");
+          qt (safety_under_schedules Campaign.Cert_ppa "cert-ppa");
           Alcotest.test_case "recorded run deterministic" `Quick
             test_sim_recorded_deterministic;
         ] );
